@@ -1,0 +1,42 @@
+# WSPeer build targets. Everything is stdlib-only Go; these are
+# conveniences, not requirements.
+
+GO ?= go
+
+.PHONY: all build vet test race bench harness examples loc clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B benchmark per experiment (see DESIGN.md §5).
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Regenerate every experiment table (E1-E10, A1-A2).
+harness:
+	$(GO) run ./cmd/benchharness
+
+# Run every example program once.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/workflow
+	$(GO) run ./examples/cactusmon
+	$(GO) run ./examples/catnets
+	$(GO) run ./examples/simulation -peers 300 -queries 50
+
+loc:
+	@find . -name '*.go' | xargs wc -l | tail -1
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,548 @@
+package wspeer_test
+
+// One benchmark per experiment in DESIGN.md's index (E1-E10). The printed
+// tables come from cmd/benchharness; these testing.B benchmarks expose the
+// same workloads to `go test -bench`.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"wspeer"
+	"wspeer/internal/core"
+	"wspeer/internal/engine"
+	"wspeer/internal/experiments"
+	"wspeer/internal/flow"
+	"wspeer/internal/httpd"
+	"wspeer/internal/p2ps"
+	"wspeer/internal/query"
+	"wspeer/internal/soap"
+	"wspeer/internal/transport"
+	"wspeer/internal/wsdl"
+	"wspeer/internal/xmlutil"
+)
+
+func benchEchoDef(name string) wspeer.ServiceDef {
+	return wspeer.ServiceDef{
+		Name: name,
+		Operations: []wspeer.OperationDef{{
+			Name:       "echo",
+			Func:       func(s string) string { return s },
+			ParamNames: []string{"msg"},
+		}},
+	}
+}
+
+// BenchmarkEventPropagation (E1): cost of one event through the interface
+// tree to a registered listener.
+func BenchmarkEventPropagation(b *testing.B) {
+	peer := wspeer.NewPeer()
+	var sink int
+	peer.AddListener(wspeer.ListenerFuncs{Server: func(e wspeer.ServerMessageEvent) { sink++ }})
+	req := &transport.Request{Body: []byte("x")}
+	resp := &transport.Response{Body: []byte("y")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		peer.FireServerMessage("Svc", req, resp)
+	}
+	if sink != b.N {
+		b.Fatalf("delivered %d of %d", sink, b.N)
+	}
+}
+
+// BenchmarkHTTPLifecycle (E2): the full Fig. 3 cycle — deploy, publish,
+// locate, invoke, undeploy — over real HTTP and a live registry.
+func BenchmarkHTTPLifecycle(b *testing.B) {
+	registryHost := httpd.New(engine.New(), httpd.Options{})
+	defer registryHost.Close()
+	registryURL, err := registryHost.Deploy(wspeer.UDDIServiceDef(wspeer.NewUDDIRegistry()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	peer := wspeer.NewPeer()
+	binding, err := wspeer.NewHTTPBinding(wspeer.HTTPOptions{UDDIEndpoint: registryURL})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer binding.Close()
+	binding.Attach(peer)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("Echo%d", i)
+		if _, err := peer.Server().DeployAndPublish(ctx, benchEchoDef(name)); err != nil {
+			b.Fatal(err)
+		}
+		info, err := peer.Client().LocateOne(ctx, wspeer.NameQuery{Name: name})
+		if err != nil {
+			b.Fatal(err)
+		}
+		inv, err := peer.Client().NewInvocation(info)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := inv.Invoke(ctx, "echo", wspeer.P("msg", "x")); err != nil {
+			b.Fatal(err)
+		}
+		if err := peer.Server().Undeploy(ctx, name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHTTPInvoke (E2): steady-state invocation over real HTTP.
+func BenchmarkHTTPInvoke(b *testing.B) {
+	peer := wspeer.NewPeer()
+	binding, err := wspeer.NewHTTPBinding(wspeer.HTTPOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer binding.Close()
+	binding.Attach(peer)
+	dep, err := peer.Server().Deploy(benchEchoDef("Echo"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	inv, err := peer.Client().NewInvocation(&wspeer.ServiceInfo{
+		Name: "Echo", Endpoint: dep.Endpoint, Definitions: dep.Definitions,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inv.Invoke(ctx, "echo", wspeer.P("msg", "x")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// p2psBenchRig builds a provider+consumer pair on an in-process overlay.
+func p2psBenchRig(b *testing.B) (provider, consumer *wspeer.Peer, cleanup func()) {
+	b.Helper()
+	overlay := p2ps.NewLocalNetwork()
+	rdv, err := p2ps.NewPeer(p2ps.Config{Transport: overlay.NewEndpoint(), Rendezvous: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var closers []func()
+	closers = append(closers, func() { rdv.Close() })
+	mk := func() *wspeer.Peer {
+		node, err := p2ps.NewPeer(p2ps.Config{Transport: overlay.NewEndpoint(), Seeds: []string{rdv.Addr()}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		closers = append(closers, func() { node.Close() })
+		bind, err := wspeer.NewP2PSBinding(wspeer.P2PSOptions{Peer: node, DiscoveryTimeout: 100 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := wspeer.NewPeer()
+		bind.Attach(p)
+		return p
+	}
+	provider, consumer = mk(), mk()
+	return provider, consumer, func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+}
+
+func locateP2PS(b *testing.B, consumer *wspeer.Peer, name string) *wspeer.ServiceInfo {
+	b.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		info, err := consumer.Client().LocateOne(context.Background(), wspeer.NameQuery{Name: name})
+		if err == nil {
+			return info
+		}
+	}
+	b.Fatalf("service %q never became locatable", name)
+	return nil
+}
+
+// BenchmarkP2PSLifecycle (E3): deploy+publish+undeploy over the P2PS
+// binding (locate is excluded here — its latency is the discovery timeout
+// by construction; see BenchmarkP2PSInvoke for the data path).
+func BenchmarkP2PSLifecycle(b *testing.B) {
+	provider, _, cleanup := p2psBenchRig(b)
+	defer cleanup()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("Echo%d", i)
+		if _, err := provider.Server().DeployAndPublish(ctx, benchEchoDef(name)); err != nil {
+			b.Fatal(err)
+		}
+		if err := provider.Server().Undeploy(ctx, name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkP2PSInvoke (E3/E4): steady-state request/response over
+// unidirectional pipes with WS-Addressing correlation.
+func BenchmarkP2PSInvoke(b *testing.B) {
+	provider, consumer, cleanup := p2psBenchRig(b)
+	defer cleanup()
+	ctx := context.Background()
+	if _, err := provider.Server().DeployAndPublish(ctx, benchEchoDef("Echo")); err != nil {
+		b.Fatal(err)
+	}
+	info := locateP2PS(b, consumer, "Echo")
+	inv, err := consumer.Client().NewInvocation(info)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inv.Invoke(ctx, "echo", wspeer.P("msg", "x")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeRequestResponse (E4): the figures 5/6 micro-steps —
+// advert→EPR serialization and envelope construction are covered by
+// BenchmarkStubGeneration-style loops inside the harness; here the whole
+// correlated round trip is the unit.
+func BenchmarkPipeRequestResponse(b *testing.B) {
+	BenchmarkP2PSInvoke(b)
+}
+
+// BenchmarkDiscoveryScaling (E5): one in-network query on a 128-peer
+// simulated overlay (rendezvous mesh with replicated adverts).
+func BenchmarkDiscoveryScaling(b *testing.B) {
+	o, err := experiments.BuildOverlay(experiments.OverlayConfig{
+		Seed: 42, Providers: 128, Rendezvous: 8, Mode: experiments.ModeMesh,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := o.RunQueries(1, nil); ok != 1 {
+			b.Fatal("query failed")
+		}
+	}
+}
+
+// BenchmarkChurnResilience (E6): a full small churn round: build a 32-peer
+// overlay, kill a quarter of it, measure 8 queries.
+func BenchmarkChurnResilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunChurn(int64(i), 32, []float64{0.25}, 8, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("unexpected rows")
+		}
+	}
+}
+
+// BenchmarkSyncVsAsync (E7): both invocation modes against 16 simulated
+// slow services.
+func BenchmarkSyncVsAsync(b *testing.B) {
+	b.Run("sequential-sync", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := experiments.RunSyncVsAsync(int64(i), 16, 500*time.Microsecond)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = r
+		}
+	})
+}
+
+// BenchmarkStubGeneration (E8): dynamic request construction straight to
+// bytes, over pre-parsed definitions.
+func BenchmarkStubGeneration(b *testing.B) {
+	e := engine.New()
+	svc, err := e.Deploy(engine.ServiceDef{
+		Name: "Echo",
+		Operations: []engine.OperationDef{{
+			Name: "echo", Func: func(s string) string { return s }, ParamNames: []string{"msg"},
+		}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defs, err := svc.WSDL(wsdl.TransportHTTP, "http://h/Echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stub := engine.NewStub(defs, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := stub.BuildRequest("echo", engine.P("msg", "hello")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDynamicVsStatic (E8): the naive per-call WSDL reparse baseline,
+// for comparison against BenchmarkStubGeneration.
+func BenchmarkDynamicVsStatic(b *testing.B) {
+	e := engine.New()
+	svc, err := e.Deploy(engine.ServiceDef{
+		Name: "Echo",
+		Operations: []engine.OperationDef{{
+			Name: "echo", Func: func(s string) string { return s }, ParamNames: []string{"msg"},
+		}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defs, err := svc.WSDL(wsdl.TransportHTTP, "http://h/Echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, err := defs.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := wsdl.Parse(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stub := engine.NewStub(d, nil)
+		if _, _, err := stub.BuildRequest("echo", engine.P("msg", "hello")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLazyDeploy (E9): host creation + lazy listener launch + first
+// deployment, per iteration.
+func BenchmarkLazyDeploy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := httpd.New(engine.New(), httpd.Options{})
+		if _, err := h.Deploy(engine.ServiceDef{
+			Name: "Echo",
+			Operations: []engine.OperationDef{{
+				Name: "echo", Func: func(s string) string { return s },
+			}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		h.Close()
+	}
+}
+
+// BenchmarkStatefulService (E10): invocation of an operation bound to a
+// live object, over the in-memory transport.
+func BenchmarkStatefulService(b *testing.B) {
+	type counter struct {
+		mu sync.Mutex
+		n  int64
+	}
+	c := &counter{}
+	eng := engine.New()
+	def := engine.ServiceDef{
+		Name: "Counter",
+		Operations: []engine.OperationDef{{
+			Name: "inc",
+			Func: func() int64 {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				c.n++
+				return c.n
+			},
+		}},
+	}
+	svc, err := eng.Deploy(def)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := transport.NewInMemNetwork()
+	net.Register("mem://h/Counter", eng.Handler("Counter"))
+	defs, err := svc.WSDL("urn:mem", "mem://h/Counter")
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := transport.NewRegistry()
+	reg.Register(net.Transport())
+	stub := engine.NewStub(defs, reg)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stub.Invoke(ctx, "inc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if c.n != int64(b.N) {
+		b.Fatalf("state = %d, want %d", c.n, b.N)
+	}
+}
+
+// BenchmarkEngineDispatch: the server-side hot path alone (parse +
+// dispatch + encode), no transport.
+func BenchmarkEngineDispatch(b *testing.B) {
+	eng := engine.New()
+	if _, err := eng.Deploy(engine.ServiceDef{
+		Name: "Echo",
+		Operations: []engine.OperationDef{{
+			Name: "echo", Func: func(s string) string { return s }, ParamNames: []string{"msg"},
+		}},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	svc := eng.Service("Echo")
+	defs, err := svc.WSDL(wsdl.TransportHTTP, "http://h/Echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stub := engine.NewStub(defs, nil)
+	req, _, err := stub.BuildRequest("echo", engine.P("msg", "hello"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := eng.ServeRequest(ctx, "Echo", req)
+		if err != nil || resp.Faulted {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueuedListener: event delivery through the decoupling queue.
+func BenchmarkQueuedListener(b *testing.B) {
+	var sink int64
+	var mu sync.Mutex
+	inner := core.ListenerFuncs{Server: func(core.ServerMessageEvent) {
+		mu.Lock()
+		sink++
+		mu.Unlock()
+	}}
+	q := core.NewQueuedListener(inner, 1024)
+	defer q.Close()
+	peer := core.NewPeer()
+	peer.AddListener(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		peer.FireServerMessage("S", nil, nil)
+	}
+}
+
+// BenchmarkQueryCompile: compiling a representative rich query expression.
+func BenchmarkQueryCompile(b *testing.B) {
+	const src = `name like 'Echo*' and (attr(kind) = 'echo' or attr(price) < 0.5) and not attr(deprecated) = 'true'`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryEval: evaluating a compiled expression against a subject.
+func BenchmarkQueryEval(b *testing.B) {
+	e := query.MustCompile(`name like 'Echo*' and attr(kind) = 'echo' and attr(price) < 0.5`)
+	s := &query.Subject{
+		Name:  "EchoService",
+		Attrs: map[string]string{"kind": "echo", "price": "0.25"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !e.Matches(s) {
+			b.Fatal("no match")
+		}
+	}
+}
+
+// BenchmarkSOAP12RoundTrip: marshal+parse of a SOAP 1.2 envelope.
+func BenchmarkSOAP12RoundTrip(b *testing.B) {
+	env := soap.NewEnvelopeV(soap.SOAP12)
+	body := xmlutil.NewElement(xmlutil.N("urn:bench", "op"))
+	body.NewChild(xmlutil.N("urn:bench", "p")).SetText("value")
+	env.AddBodyElement(body)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := soap.Parse(env.Marshal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkflowRun: a three-stage linear workflow over the in-memory
+// transport per iteration.
+func BenchmarkWorkflowRun(b *testing.B) {
+	peer := core.NewPeer()
+	net := transport.NewInMemNetwork()
+	reg := transport.NewRegistry()
+	reg.Register(net.Transport())
+	peer.Client().RegisterInvoker(benchMemInvoker{reg: reg})
+
+	host := func(def engine.ServiceDef) *core.Invocation {
+		eng := engine.New()
+		svc, err := eng.Deploy(def)
+		if err != nil {
+			b.Fatal(err)
+		}
+		addr := "mem://h/" + def.Name
+		net.Register(addr, eng.Handler(def.Name))
+		defs, err := svc.WSDL(wsdl.TransportHTTP, addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inv, err := peer.Client().NewInvocation(&core.ServiceInfo{Name: def.Name, Endpoint: addr, Definitions: defs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return inv
+	}
+	stage := func(name string) engine.ServiceDef {
+		return engine.ServiceDef{
+			Name: name,
+			Operations: []engine.OperationDef{{
+				Name: "next", Func: func(n int64) int64 { return n + 1 }, ParamNames: []string{"n"},
+			}},
+		}
+	}
+	a, bb, c := host(stage("A")), host(stage("B")), host(stage("C"))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wf := flow.New("bench")
+		wf.AddStep(flow.Step{Name: "a", Invocation: a, Operation: "next",
+			Inputs: map[string]flow.Source{"n": flow.Const(int64(0))}})
+		wf.AddStep(flow.Step{Name: "b", Invocation: bb, Operation: "next",
+			Inputs: map[string]flow.Source{"n": flow.Output("a", "return", int64(0))}})
+		wf.AddStep(flow.Step{Name: "c", Invocation: c, Operation: "next",
+			Inputs: map[string]flow.Source{"n": flow.Output("b", "return", int64(0))}})
+		res, err := wf.Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var n int64
+		if err := res.Decode("c", "return", &n); err != nil || n != 3 {
+			b.Fatalf("n = %d, %v", n, err)
+		}
+	}
+}
+
+type benchMemInvoker struct{ reg *transport.Registry }
+
+func (i benchMemInvoker) Schemes() []string { return []string{"mem"} }
+func (i benchMemInvoker) Invoke(ctx context.Context, svc *core.ServiceInfo, op string, params []engine.Param) (*engine.Result, error) {
+	stub := engine.NewStub(svc.Definitions, i.reg)
+	stub.EndpointOverride = svc.Endpoint
+	return stub.Invoke(ctx, op, params...)
+}

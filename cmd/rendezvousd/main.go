@@ -1,0 +1,67 @@
+// Command rendezvousd runs a standalone P2PS rendezvous peer over TCP: it
+// caches service advertisements published by attached peers and propagates
+// queries to other rendezvous it knows about, stitching peer groups into a
+// searchable overlay.
+//
+//	rendezvousd -listen 127.0.0.1:9700
+//	rendezvousd -listen 127.0.0.1:9701 -seed tcp://127.0.0.1:9700
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"wspeer"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
+	seeds := flag.String("seed", "", "comma-separated addresses of other rendezvous peers")
+	group := flag.String("group", "default", "peer group name")
+	stats := flag.Duration("stats", 30*time.Second, "interval between stats lines (0 disables)")
+	flag.Parse()
+
+	var seedList []string
+	if *seeds != "" {
+		seedList = strings.Split(*seeds, ",")
+	}
+	tr, err := wspeer.NewTCPTransport(*listen)
+	if err != nil {
+		log.Fatalf("rendezvousd: %v", err)
+	}
+	peer, err := wspeer.NewP2PSPeer(wspeer.P2PSConfig{
+		Transport:  tr,
+		Rendezvous: true,
+		Seeds:      seedList,
+		Group:      *group,
+		Name:       "rendezvousd",
+	})
+	if err != nil {
+		log.Fatalf("rendezvousd: %v", err)
+	}
+	defer peer.Close()
+	fmt.Println("rendezvousd: peer", peer.ID())
+	fmt.Println("rendezvousd: listening at", peer.Addr())
+	fmt.Println("rendezvousd: seed peers with -seed", peer.Addr())
+
+	if *stats > 0 {
+		go func() {
+			for range time.Tick(*stats) {
+				s := peer.Stats()
+				fmt.Printf("rendezvousd: cache=%d msgs in/out=%d/%d queries served/forwarded=%d/%d\n",
+					peer.CacheLen(), s.MessagesReceived, s.MessagesSent, s.QueriesServed, s.QueriesForwarded)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("rendezvousd: shutting down")
+}

@@ -1,0 +1,40 @@
+// Command uddid runs a standalone UDDI-style registry node: the
+// centralized discovery substrate of WSPeer's standard binding. The
+// registry itself is hosted as a WSPeer service, so any WSPeer client can
+// publish to it and query it over SOAP.
+//
+//	uddid -listen 127.0.0.1:8900
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"wspeer"
+	"wspeer/internal/engine"
+	"wspeer/internal/httpd"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
+	flag.Parse()
+
+	registry := wspeer.NewUDDIRegistry()
+	host := httpd.New(engine.New(), httpd.Options{ListenAddr: *listen})
+	defer host.Close()
+	endpoint, err := host.Deploy(wspeer.UDDIServiceDef(registry))
+	if err != nil {
+		log.Fatalf("uddid: %v", err)
+	}
+	fmt.Println("uddid: registry listening at", endpoint)
+	fmt.Println("uddid: point WSPeer peers at it with -uddi", endpoint)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("uddid: shutting down")
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"wspeer"
+)
+
+func TestParseCLI(t *testing.T) {
+	a, err := parseCLI([]string{
+		"invoke", "-uddi", "http://r/services/UDDIRegistry",
+		"-name", "Echo", "-op", "echo", "-timeout", "3s",
+		"msg=hello", "n=5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.cmd != "invoke" || a.uddiURL == "" || a.name != "Echo" || a.op != "echo" {
+		t.Fatalf("parsed: %+v", a)
+	}
+	if a.timeout != 3*time.Second {
+		t.Fatalf("timeout = %v", a.timeout)
+	}
+	if len(a.params) != 2 || a.params[0].Name != "msg" || a.params[1].Value != "5" {
+		t.Fatalf("params: %+v", a.params)
+	}
+	if _, ok := a.query().(wspeer.NameQuery); !ok {
+		t.Fatalf("query type: %T", a.query())
+	}
+}
+
+func TestParseCLIDefaultsAndExpr(t *testing.T) {
+	a, err := parseCLI([]string{"find", "-seed", "tcp://h:1", "-expr", "attr(kind) = 'echo'"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.name != "*" {
+		t.Fatalf("default name = %q", a.name)
+	}
+	if a.timeout != 15*time.Second {
+		t.Fatalf("default timeout = %v", a.timeout)
+	}
+	q, ok := a.query().(wspeer.ExprQuery)
+	if !ok || q.Expr == "" {
+		t.Fatalf("query: %#v", a.query())
+	}
+}
+
+func TestParseCLIErrors(t *testing.T) {
+	bad := [][]string{
+		{},
+		{"find"},                           // no -uddi/-seed
+		{"explode", "-uddi", "u"},          // unknown command
+		{"invoke", "-uddi", "u"},           // invoke without -op
+		{"find", "-uddi"},                  // flag without value
+		{"find", "-uddi", "u", "-timeout"}, // flag without value
+		{"find", "-uddi", "u", "-timeout", "soon"}, // bad duration
+		{"find", "-uddi", "u", "dangling"},         // non key=value positional
+	}
+	for _, args := range bad {
+		if _, err := parseCLI(args); err == nil {
+			t.Errorf("parseCLI(%v): expected error", args)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Command wspeerd hosts WSPeer's built-in demonstration services over
+// either binding. It is the "provider peer in a box" for trying the stack
+// from the command line against uddid and rendezvousd.
+//
+// Standard binding (HTTP hosting + UDDI publication):
+//
+//	wspeerd -binding http -uddi http://127.0.0.1:8900/services/UDDIRegistry -services echo,calc
+//
+// P2PS binding (pipes + advert publication over TCP):
+//
+//	wspeerd -binding p2ps -seed tcp://127.0.0.1:9700 -services echo,counter
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+
+	"wspeer"
+)
+
+func main() {
+	binding := flag.String("binding", "http", `binding to host with: "http" or "p2ps"`)
+	listen := flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
+	uddiURL := flag.String("uddi", "", "UDDI registry endpoint (http binding)")
+	seeds := flag.String("seed", "", "comma-separated rendezvous addresses (p2ps binding)")
+	services := flag.String("services", "echo", "comma-separated services to host: echo, calc, counter")
+	flag.Parse()
+
+	peer := wspeer.NewPeer()
+	peer.AddListener(wspeer.ListenerFuncs{
+		Deployment: func(e wspeer.DeploymentMessageEvent) {
+			if e.Err == nil && !e.Undeployed {
+				fmt.Printf("wspeerd: deployed %s at %s\n", e.Service, e.Endpoint)
+			}
+		},
+		Publish: func(e wspeer.PublishEvent) {
+			if e.Err == nil {
+				fmt.Printf("wspeerd: published %s via %s (%s)\n", e.Service, e.Publisher, e.Location)
+			}
+		},
+		Server: func(e wspeer.ServerMessageEvent) {
+			fmt.Printf("wspeerd: served %s (%dB in, %dB out)\n", e.Service, len(e.Request.Body), len(e.Response.Body))
+		},
+	})
+
+	var closer func()
+	switch *binding {
+	case "http":
+		b, err := wspeer.NewHTTPBinding(wspeer.HTTPOptions{ListenAddr: *listen, UDDIEndpoint: *uddiURL})
+		if err != nil {
+			log.Fatalf("wspeerd: %v", err)
+		}
+		b.Attach(peer)
+		closer = func() { b.Close() }
+	case "p2ps":
+		var seedList []string
+		if *seeds != "" {
+			seedList = strings.Split(*seeds, ",")
+		}
+		node, err := wspeer.NewTCPP2PSPeer(*listen, false, seedList...)
+		if err != nil {
+			log.Fatalf("wspeerd: %v", err)
+		}
+		b, err := wspeer.NewP2PSBinding(wspeer.P2PSOptions{Peer: node})
+		if err != nil {
+			log.Fatalf("wspeerd: %v", err)
+		}
+		b.Attach(peer)
+		fmt.Println("wspeerd: p2ps peer", node.ID(), "at", node.Addr())
+		closer = func() { node.Close() }
+	default:
+		log.Fatalf("wspeerd: unknown binding %q", *binding)
+	}
+	defer closer()
+
+	ctx := context.Background()
+	for _, name := range strings.Split(*services, ",") {
+		def, err := builtinService(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatalf("wspeerd: %v", err)
+		}
+		if *binding == "http" && *uddiURL == "" {
+			// Hosting only: no registry to publish to.
+			if _, err := peer.Server().Deploy(def); err != nil {
+				log.Fatalf("wspeerd: deploying %s: %v", def.Name, err)
+			}
+			continue
+		}
+		if _, err := peer.Server().DeployAndPublish(ctx, def); err != nil {
+			log.Fatalf("wspeerd: hosting %s: %v", def.Name, err)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("wspeerd: shutting down")
+}
+
+// builtinService returns one of the demo service definitions.
+func builtinService(name string) (wspeer.ServiceDef, error) {
+	switch name {
+	case "echo":
+		return wspeer.ServiceDef{
+			Name: "Echo",
+			Operations: []wspeer.OperationDef{
+				{
+					Name:       "echo",
+					Func:       func(msg string) string { return msg },
+					ParamNames: []string{"msg"},
+					Doc:        "returns its input unchanged",
+				},
+				{
+					Name:       "reverse",
+					Func:       reverse,
+					ParamNames: []string{"msg"},
+					Doc:        "returns its input reversed",
+				},
+			},
+		}, nil
+	case "calc":
+		return wspeer.ServiceDef{
+			Name: "Calculator",
+			Operations: []wspeer.OperationDef{
+				{Name: "add", Func: func(a, b float64) float64 { return a + b }, ParamNames: []string{"a", "b"}},
+				{Name: "sub", Func: func(a, b float64) float64 { return a - b }, ParamNames: []string{"a", "b"}},
+				{Name: "mul", Func: func(a, b float64) float64 { return a * b }, ParamNames: []string{"a", "b"}},
+				{Name: "div", Func: func(a, b float64) (float64, error) {
+					if b == 0 {
+						return 0, errors.New("division by zero")
+					}
+					return a / b, nil
+				}, ParamNames: []string{"a", "b"}},
+			},
+		}, nil
+	case "counter":
+		c := &counter{}
+		return wspeer.ServiceFromObject("Counter", c)
+	default:
+		return wspeer.ServiceDef{}, fmt.Errorf("unknown service %q (have echo, calc, counter)", name)
+	}
+}
+
+func reverse(s string) string {
+	r := []rune(s)
+	for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+		r[i], r[j] = r[j], r[i]
+	}
+	return string(r)
+}
+
+// counter is the stateful demo object.
+type counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Increment adds delta and returns the new value.
+func (c *counter) Increment(delta int64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += delta
+	return c.n
+}
+
+// Value returns the current value.
+func (c *counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

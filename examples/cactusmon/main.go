@@ -1,0 +1,200 @@
+// Command cactusmon recreates the Supercomputing 2004 Grid scenario (paper
+// §V): an application launches a long-running simulation, then uses
+// WSPeer's dynamic deployment to stand up a Web service *at run time* that
+// receives the simulation's output frames as they are produced, passing
+// them back to the monitoring application "in real-time as the simulation
+// iterated through its time steps".
+//
+// The Cactus solver (a proprietary toolkit run on remote resources in the
+// paper) is substituted by an in-process explicit finite-difference solver
+// for the 1-D wave equation — the same class of hyperbolic PDE the
+// original demo visualized — which posts a rendered frame to the
+// dynamically deployed service after every few time steps.
+//
+// Run it with:
+//
+//	go run ./examples/cactusmon
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"strings"
+	"sync"
+
+	"wspeer"
+)
+
+// FrameSink is the stateful object exposed as the monitoring service: the
+// simulation invokes postFrame on it; the application owns and reads it
+// directly (paper §III point 3: the service is an interface to an object
+// the application already holds).
+type FrameSink struct {
+	mu     sync.Mutex
+	frames []Frame
+	done   chan struct{}
+	expect int
+}
+
+// Frame is one rendered simulation snapshot.
+type Frame struct {
+	Step   int64
+	Time   float64
+	Render string
+	Energy float64
+}
+
+// NewFrameSink expects n frames before Done fires.
+func NewFrameSink(n int) *FrameSink {
+	return &FrameSink{done: make(chan struct{}), expect: n}
+}
+
+// Post receives a frame from the simulation.
+func (s *FrameSink) Post(f Frame) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frames = append(s.frames, f)
+	if len(s.frames) == s.expect {
+		close(s.done)
+	}
+	return int64(len(s.frames))
+}
+
+// Frames returns the frames received so far.
+func (s *FrameSink) Frames() []Frame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Frame(nil), s.frames...)
+}
+
+func main() {
+	ctx := context.Background()
+	const frames = 8
+
+	// The monitoring application: deploy the sink service dynamically.
+	app := wspeer.NewPeer()
+	binding, err := wspeer.NewHTTPBinding(wspeer.HTTPOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer binding.Close()
+	binding.Attach(app)
+
+	sink := NewFrameSink(frames)
+	def := wspeer.ServiceDef{
+		Name: "CactusMonitor",
+		Operations: []wspeer.OperationDef{{
+			Name:       "postFrame",
+			Func:       sink.Post,
+			ParamNames: []string{"frame"},
+			Doc:        "receives one rendered simulation frame",
+		}},
+	}
+	dep, err := app.Server().Deploy(def)
+	if err != nil {
+		log.Fatalf("dynamic deployment: %v", err)
+	}
+	fmt.Println("monitor service deployed at", dep.Endpoint)
+
+	// The "remote resource": a peer that knows only the service endpoint
+	// and WSDL, exactly what the Triana unit handed to Cactus.
+	simPeer := wspeer.NewPeer()
+	simBinding, err := wspeer.NewHTTPBinding(wspeer.HTTPOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer simBinding.Close()
+	simBinding.Attach(simPeer)
+	info := &wspeer.ServiceInfo{Name: "CactusMonitor", Endpoint: dep.Endpoint, Definitions: dep.Definitions}
+	inv, err := simPeer.Client().NewInvocation(info)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the solver; it posts a frame back through the Web service after
+	// every output interval.
+	go runWaveSimulation(ctx, inv, frames)
+
+	<-sink.Done()
+	fmt.Printf("\nreceived all %d frames through the dynamically deployed service:\n\n", frames)
+	for _, f := range sink.Frames() {
+		fmt.Printf("step %4d  t=%5.2f  E=%6.3f  |%s|\n", f.Step, f.Time, f.Energy, f.Render)
+	}
+}
+
+// Done is closed when all expected frames have arrived.
+func (s *FrameSink) Done() <-chan struct{} { return s.done }
+
+// runWaveSimulation solves u_tt = c^2 u_xx with fixed ends using explicit
+// finite differences, posting a rendered frame every stepsPerFrame steps.
+func runWaveSimulation(ctx context.Context, inv *wspeer.Invocation, frames int) {
+	const (
+		nx            = 64
+		c             = 1.0
+		dx            = 1.0 / nx
+		dt            = 0.5 * dx / c // CFL-stable
+		stepsPerFrame = 16
+	)
+	prev := make([]float64, nx)
+	cur := make([]float64, nx)
+	next := make([]float64, nx)
+	// Initial condition: a centered Gaussian pulse at rest.
+	for i := range cur {
+		x := float64(i) * dx
+		cur[i] = math.Exp(-200 * (x - 0.5) * (x - 0.5))
+		prev[i] = cur[i]
+	}
+	r2 := (c * dt / dx) * (c * dt / dx)
+	step := 0
+	for f := 0; f < frames; f++ {
+		for s := 0; s < stepsPerFrame; s++ {
+			for i := 1; i < nx-1; i++ {
+				next[i] = 2*cur[i] - prev[i] + r2*(cur[i+1]-2*cur[i]+cur[i-1])
+			}
+			prev, cur, next = cur, next, prev
+			step++
+		}
+		frame := Frame{
+			Step:   int64(step),
+			Time:   float64(step) * dt,
+			Render: renderWave(cur),
+			Energy: waveEnergy(cur, prev, dx, dt),
+		}
+		res, err := inv.Invoke(ctx, "postFrame", wspeer.P("frame", frame))
+		if err != nil {
+			log.Fatalf("posting frame: %v", err)
+		}
+		var n int64
+		if err := res.Decode("return", &n); err != nil {
+			log.Fatalf("decoding ack: %v", err)
+		}
+		fmt.Printf("simulation: posted frame %d (monitor has %d)\n", f+1, n)
+	}
+}
+
+// renderWave draws the field as ASCII, standing in for the JPEGs the
+// original demo streamed.
+func renderWave(u []float64) string {
+	glyphs := []rune(" .:-=+*#%@")
+	var b strings.Builder
+	for _, v := range u {
+		level := int(math.Abs(v) * float64(len(glyphs)-1))
+		if level >= len(glyphs) {
+			level = len(glyphs) - 1
+		}
+		b.WriteRune(glyphs[level])
+	}
+	return b.String()
+}
+
+func waveEnergy(cur, prev []float64, dx, dt float64) float64 {
+	e := 0.0
+	for i := 1; i < len(cur)-1; i++ {
+		ut := (cur[i] - prev[i]) / dt
+		ux := (cur[i+1] - cur[i-1]) / (2 * dx)
+		e += 0.5 * (ut*ut + ux*ux) * dx
+	}
+	return e
+}

@@ -1,0 +1,232 @@
+// Command catnets recreates the Catnets evaluation scenario (paper §V):
+// "economy driven services interact[ing] in a decentralised topology". A
+// set of resource-provider peers publish ComputeMarket services into a
+// P2PS overlay, each advertising a price. Buyer peers discover the
+// providers through in-network queries — no registry anywhere — request
+// quotes, buy from the cheapest seller, and capacity is consumed until the
+// market dries up.
+//
+// Run it with:
+//
+//	go run ./examples/catnets
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"wspeer"
+	"wspeer/internal/p2ps"
+)
+
+// Market is a provider's stateful order book.
+type Market struct {
+	mu       sync.Mutex
+	name     string
+	price    float64
+	capacity int64
+	sold     int64
+}
+
+// Quote is a provider's current offer.
+type Quote struct {
+	Provider  string
+	PriceCPU  float64
+	Available int64
+}
+
+// Trade records a completed purchase.
+type Trade struct {
+	Provider string
+	Units    int64
+	Cost     float64
+}
+
+func main() {
+	ctx := context.Background()
+
+	// A decentralised overlay: one rendezvous, N providers, one buyer.
+	overlay := p2ps.NewLocalNetwork()
+	rdv, err := p2ps.NewPeer(p2ps.Config{Transport: overlay.NewEndpoint(), Rendezvous: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rdv.Close()
+
+	providers := []struct {
+		name     string
+		price    float64
+		capacity int64
+	}{
+		{"cardiff-cluster", 0.90, 40},
+		{"lsu-testbed", 0.60, 25},
+		{"bargain-basement", 0.35, 10},
+	}
+	for _, pv := range providers {
+		if err := hostProvider(ctx, overlay, rdv.Addr(), pv.name, pv.price, pv.capacity); err != nil {
+			log.Fatalf("hosting %s: %v", pv.name, err)
+		}
+		fmt.Printf("provider %-17s price %.2f  capacity %d\n", pv.name, pv.price, pv.capacity)
+	}
+
+	// The buyer joins the overlay and shops for 60 units.
+	buyerNode, err := wspeer.NewP2PSPeer(wspeer.P2PSConfig{
+		Transport: overlay.NewEndpoint(), Seeds: []string{rdv.Addr()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer buyerNode.Close()
+	buyer := wspeer.NewPeer()
+	buyerBinding, err := wspeer.NewP2PSBinding(wspeer.P2PSOptions{
+		Peer: buyerNode, DiscoveryTimeout: 400 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buyerBinding.Attach(buyer)
+
+	var markets []*wspeer.Invocation
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && len(markets) < len(providers) {
+		infos, _ := buyer.Client().Locate(ctx, wspeer.NameQuery{
+			Name:  "ComputeMarket*",
+			Attrs: map[string]string{"kind": "compute-market"},
+		})
+		markets = markets[:0]
+		for _, info := range infos {
+			inv, err := buyer.Client().NewInvocation(info)
+			if err == nil {
+				markets = append(markets, inv)
+			}
+		}
+	}
+	fmt.Printf("\nbuyer discovered %d markets via in-network query\n", len(markets))
+	if len(markets) == 0 {
+		log.Fatal("no markets found")
+	}
+
+	want := int64(60)
+	var trades []Trade
+	total := 0.0
+	for want > 0 {
+		// Gather quotes from every discovered market.
+		var quotes []Quote
+		for _, m := range markets {
+			res, err := m.Invoke(ctx, "quote")
+			if err != nil {
+				continue // provider gone: the economy shrugs
+			}
+			var q Quote
+			if err := res.Decode("return", &q); err == nil && q.Available > 0 {
+				quotes = append(quotes, q)
+			}
+		}
+		if len(quotes) == 0 {
+			fmt.Println("market exhausted with demand remaining:", want)
+			break
+		}
+		sort.Slice(quotes, func(i, j int) bool { return quotes[i].PriceCPU < quotes[j].PriceCPU })
+		best := quotes[0]
+		units := want
+		if units > best.Available {
+			units = best.Available
+		}
+		// Buy from the cheapest provider.
+		var trade Trade
+		for _, m := range markets {
+			res, err := m.Invoke(ctx, "buy", wspeer.P("provider", best.Provider), wspeer.P("units", units))
+			if err != nil {
+				continue
+			}
+			if err := res.Decode("return", &trade); err == nil && trade.Units > 0 {
+				break
+			}
+		}
+		if trade.Units == 0 {
+			fmt.Printf("purchase from %s failed; retrying\n", best.Provider)
+			continue
+		}
+		want -= trade.Units
+		total += trade.Cost
+		trades = append(trades, trade)
+		fmt.Printf("bought %2d units from %-17s for %6.2f (remaining demand %d)\n",
+			trade.Units, trade.Provider, trade.Cost, want)
+	}
+
+	fmt.Printf("\n%d trades, total spend %.2f\n", len(trades), total)
+}
+
+// hostProvider stands up one provider peer with a ComputeMarket service.
+func hostProvider(ctx context.Context, overlay *p2ps.LocalNetwork, seed, name string, price float64, capacity int64) error {
+	node, err := wspeer.NewP2PSPeer(wspeer.P2PSConfig{
+		Transport: overlay.NewEndpoint(), Seeds: []string{seed},
+	})
+	if err != nil {
+		return err
+	}
+	peer := wspeer.NewPeer()
+	binding, err := wspeer.NewP2PSBinding(wspeer.P2PSOptions{Peer: node})
+	if err != nil {
+		return err
+	}
+	binding.Attach(peer)
+
+	m := &Market{name: name, price: price, capacity: capacity}
+	def := wspeer.ServiceDef{
+		Name: "ComputeMarket-" + name,
+		Operations: []wspeer.OperationDef{
+			{
+				Name: "quote",
+				Func: m.Quote,
+				Doc:  "current price and availability",
+			},
+			{
+				Name:       "buy",
+				Func:       m.Buy,
+				ParamNames: []string{"provider", "units"},
+				Doc:        "purchase units if addressed to this provider",
+			},
+		},
+	}
+	// Tag the advert with the economic attributes buyers filter on
+	// (P2PS attribute-based search), then deploy and publish.
+	binding.SetAdvertAttrs(def.Name, map[string]string{
+		"kind":  "compute-market",
+		"owner": name,
+	})
+	dep, err := peer.Server().Deploy(def)
+	if err != nil {
+		return err
+	}
+	return peer.Server().Publish(ctx, dep)
+}
+
+// Quote returns the market's current offer.
+func (m *Market) Quote() Quote {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Quote{Provider: m.name, PriceCPU: m.price, Available: m.capacity - m.sold}
+}
+
+// Buy purchases units if the request is addressed to this provider.
+func (m *Market) Buy(provider string, units int64) Trade {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if provider != m.name {
+		return Trade{}
+	}
+	avail := m.capacity - m.sold
+	if units > avail {
+		units = avail
+	}
+	if units <= 0 {
+		return Trade{}
+	}
+	m.sold += units
+	return Trade{Provider: m.name, Units: units, Cost: float64(units) * m.price}
+}

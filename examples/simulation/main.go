@@ -1,0 +1,73 @@
+// Command simulation recreates the paper's NS2 scenario (§IV): "simulate
+// large networks of peers publishing, discovering and invoking Web
+// services in a distributed topology." The same P2PS protocol code that
+// runs over TCP runs here over the discrete-event simulator with virtual
+// time, so a thousand-peer overlay builds, publishes and resolves queries
+// in milliseconds of wall-clock — deterministically for a given seed.
+//
+// Run it with:
+//
+//	go run ./examples/simulation [-peers 1000] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"wspeer/internal/experiments"
+	"wspeer/internal/p2ps"
+)
+
+func main() {
+	peers := flag.Int("peers", 1000, "number of provider peers")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	queries := flag.Int("queries", 200, "queries to run")
+	flag.Parse()
+
+	fmt.Printf("building a %d-peer overlay (seed %d)...\n", *peers, *seed)
+	start := time.Now()
+	overlay, err := experiments.BuildOverlay(experiments.OverlayConfig{
+		Seed:       *seed,
+		Providers:  *peers,
+		Rendezvous: *peers / 32,
+		Mode:       experiments.ModeMesh,
+		Homes:      2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	built := time.Since(start)
+	stats := overlay.Sim.Stats()
+	fmt.Printf("built in %s wall-clock; virtual time %s; %d messages to attach and publish\n",
+		built.Round(time.Millisecond), overlay.Sim.Now().Round(time.Millisecond), stats.Sent)
+
+	// Every provider published one service; run a query workload.
+	fmt.Printf("\nrunning %d discovery queries...\n", *queries)
+	start = time.Now()
+	ok, hops := overlay.RunQueries(*queries, nil)
+	fmt.Printf("success %d/%d, mean hops %.2f, wall-clock %s\n",
+		ok, *queries, hops, time.Since(start).Round(time.Millisecond))
+	hottestName, hottestLoad := overlay.Sim.Hottest()
+	fmt.Printf("hottest node: %s with %d messages\n", hottestName, hottestLoad)
+
+	// A named lookup straight through the protocol API.
+	target := experiments.ServiceName(*peers / 2)
+	d := overlay.Providers[0].Discover(p2ps.Query{Name: target}, 2*time.Second)
+	overlay.Sim.Run(0)
+	if len(d.Matches()) == 0 {
+		log.Fatalf("lookup of %s failed", target)
+	}
+	fmt.Printf("\nlookup %q: advert %s owned by peer %s\n",
+		target, d.Matches()[0].ID, d.Matches()[0].Peer)
+
+	// Kill a third of the network and watch discovery degrade gracefully.
+	fmt.Println("\nkilling 33% of all nodes (providers and rendezvous alike)...")
+	rows, err := experiments.RunChurn(*seed, *peers/4, []float64{0.33}, *queries/2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.ChurnTable(rows).Print(os.Stdout)
+}

@@ -1,0 +1,220 @@
+// Command workflow recreates the Triana scenario (paper §V): services are
+// discovered through a registry, appear as "tools" in a toolbox, and are
+// wired together into a Web-service workflow whose stages feed each other.
+//
+// Three independent text-processing services are hosted by three provider
+// peers; the workflow engine locates them by wildcard, builds a pipeline
+// (tokenize → stem → count) and pushes a document through it.
+//
+// Run it with:
+//
+//	go run ./examples/workflow
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"wspeer"
+	"wspeer/internal/engine"
+	"wspeer/internal/httpd"
+)
+
+// toolbox maps discovered service names to ready invocations, the way
+// located services "appear as standard tools within a Triana toolbox".
+type toolbox map[string]*wspeer.Invocation
+
+func main() {
+	ctx := context.Background()
+
+	registryHost := httpd.New(engine.New(), httpd.Options{})
+	defer registryHost.Close()
+	registryURL, err := registryHost.Deploy(wspeer.UDDIServiceDef(wspeer.NewUDDIRegistry()))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three provider peers, each hosting one stage.
+	for _, svc := range []wspeer.ServiceDef{tokenizeService(), stemService(), countService()} {
+		provider := wspeer.NewPeer()
+		b, err := wspeer.NewHTTPBinding(wspeer.HTTPOptions{UDDIEndpoint: registryURL})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer b.Close()
+		b.Attach(provider)
+		if _, err := provider.Server().DeployAndPublish(ctx, svc); err != nil {
+			log.Fatalf("hosting %s: %v", svc.Name, err)
+		}
+		fmt.Println("hosted stage:", svc.Name)
+	}
+
+	// The workflow peer: discover every Text* tool.
+	wf := wspeer.NewPeer()
+	wfBinding, err := wspeer.NewHTTPBinding(wspeer.HTTPOptions{UDDIEndpoint: registryURL})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer wfBinding.Close()
+	wfBinding.Attach(wf)
+
+	infos, err := wf.Client().Locate(ctx, wspeer.NameQuery{Name: "Text*"})
+	if err != nil {
+		log.Fatalf("discovery: %v", err)
+	}
+	tools := toolbox{}
+	for _, info := range infos {
+		inv, err := wf.Client().NewInvocation(info)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tools[info.Name] = inv
+		fmt.Printf("toolbox: %s (%s)\n", info.Name, info.Endpoint)
+	}
+	for _, need := range []string{"TextTokenizer", "TextStemmer", "TextCounter"} {
+		if tools[need] == nil {
+			log.Fatalf("stage %s not discovered", need)
+		}
+	}
+
+	// Wire the stages into a workflow: each stage's output becomes the
+	// next one's input, exactly like dragging tools onto the Triana
+	// scratchpad and connecting them.
+	document := `Services services everywhere: a service oriented architecture
+	serves services to service consumers, and consuming a served service is
+	itself a service.`
+	fmt.Println("\nrunning workflow: tokenize -> stem -> count")
+
+	pipe := wspeer.NewWorkflow("textpipe")
+	pipe.OnStep(func(e wspeer.WorkflowStepEvent) {
+		status := "ok"
+		if e.Err != nil {
+			status = e.Err.Error()
+		}
+		fmt.Printf("  step %-10s %s\n", e.Step, status)
+	})
+	must(pipe.AddStep(wspeer.WorkflowStep{
+		Name: "tokenize", Invocation: tools["TextTokenizer"], Operation: "tokenize",
+		Inputs: map[string]wspeer.WorkflowSource{"text": wspeer.ConstInput(document)},
+	}))
+	must(pipe.AddStep(wspeer.WorkflowStep{
+		Name: "stem", Invocation: tools["TextStemmer"], Operation: "stem",
+		Inputs: map[string]wspeer.WorkflowSource{
+			"words": wspeer.StepOutput("tokenize", "return", []string(nil)),
+		},
+	}))
+	must(pipe.AddStep(wspeer.WorkflowStep{
+		Name: "count", Invocation: tools["TextCounter"], Operation: "count",
+		Inputs: map[string]wspeer.WorkflowSource{
+			"words": wspeer.StepOutput("stem", "return", []string(nil)),
+			"top":   wspeer.ConstInput(int64(5)),
+		},
+	}))
+
+	results, err := pipe.Run(ctx)
+	if err != nil {
+		log.Fatalf("workflow: %v", err)
+	}
+	var tokens []string
+	results.Decode("tokenize", "return", &tokens)
+	fmt.Printf("\n  tokenize produced %d tokens\n", len(tokens))
+	var counts []WordCount
+	if err := results.Decode("count", "return", &counts); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  top words:")
+	for _, wc := range counts {
+		fmt.Printf("    %-10s %d\n", wc.Word, wc.N)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// WordCount is a (word, frequency) pair returned by the counter stage.
+type WordCount struct {
+	Word string
+	N    int64
+}
+
+func tokenizeService() wspeer.ServiceDef {
+	return wspeer.ServiceDef{
+		Name: "TextTokenizer",
+		Operations: []wspeer.OperationDef{{
+			Name:       "tokenize",
+			ParamNames: []string{"text"},
+			Doc:        "splits text into lowercase word tokens",
+			Func: func(text string) []string {
+				var out []string
+				for _, w := range strings.FieldsFunc(text, func(r rune) bool {
+					return !(r >= 'a' && r <= 'z') && !(r >= 'A' && r <= 'Z')
+				}) {
+					out = append(out, strings.ToLower(w))
+				}
+				return out
+			},
+		}},
+	}
+}
+
+func stemService() wspeer.ServiceDef {
+	suffixes := []string{"ing", "ers", "er", "ed", "es", "s"}
+	return wspeer.ServiceDef{
+		Name: "TextStemmer",
+		Operations: []wspeer.OperationDef{{
+			Name:       "stem",
+			ParamNames: []string{"words"},
+			Doc:        "applies a toy suffix-stripping stemmer",
+			Func: func(words []string) []string {
+				out := make([]string, len(words))
+				for i, w := range words {
+					for _, suf := range suffixes {
+						if len(w) > len(suf)+2 && strings.HasSuffix(w, suf) {
+							w = strings.TrimSuffix(w, suf)
+							break
+						}
+					}
+					out[i] = w
+				}
+				return out
+			},
+		}},
+	}
+}
+
+func countService() wspeer.ServiceDef {
+	return wspeer.ServiceDef{
+		Name: "TextCounter",
+		Operations: []wspeer.OperationDef{{
+			Name:       "count",
+			ParamNames: []string{"words", "top"},
+			Doc:        "returns the top-N most frequent words",
+			Func: func(words []string, top int64) []WordCount {
+				freq := map[string]int64{}
+				for _, w := range words {
+					freq[w]++
+				}
+				out := make([]WordCount, 0, len(freq))
+				for w, n := range freq {
+					out = append(out, WordCount{Word: w, N: n})
+				}
+				sort.Slice(out, func(i, j int) bool {
+					if out[i].N != out[j].N {
+						return out[i].N > out[j].N
+					}
+					return out[i].Word < out[j].Word
+				})
+				if int64(len(out)) > top {
+					out = out[:top]
+				}
+				return out
+			},
+		}},
+	}
+}

@@ -1,0 +1,3 @@
+module wspeer
+
+go 1.22

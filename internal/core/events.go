@@ -1,0 +1,274 @@
+// Package core implements WSPeer itself: the interface tree rooted at Peer
+// with Client and Server sides (paper Fig. 2), the event system through
+// which every node's activity propagates up to application-registered
+// PeerMessageListeners, the ServiceQuery abstraction, and the pluggable
+// locator/publisher/deployer/invoker components that the HTTP/UDDI and
+// P2PS bindings implement.
+//
+// WSPeer "is essentially an asynchronous, event driven system in which
+// components subscribe to events and are notified when and if responses
+// are returned from remote services" (paper §III); synchronous discovery
+// and invocation are layered over the events.
+package core
+
+import (
+	"sync"
+
+	"wspeer/internal/engine"
+	"wspeer/internal/transport"
+)
+
+// DiscoveryEvent reports progress of a service discovery: one event per
+// located service, plus a final event with Done set.
+type DiscoveryEvent struct {
+	Query   ServiceQuery
+	Service *ServiceInfo // nil on the final Done event or on errors
+	Locator string       // name of the locator component that fired
+	Err     error
+	Done    bool
+}
+
+// PublishEvent reports the outcome of publishing a deployed service.
+type PublishEvent struct {
+	Service   string
+	Location  string // registry key, advert ID, ... (publisher-specific)
+	Publisher string
+	Err       error
+}
+
+// ClientMessageEvent reports a client-side invocation's outcome.
+type ClientMessageEvent struct {
+	Service   string
+	Operation string
+	Result    *engine.Result // nil for one-way operations and on errors
+	Err       error
+}
+
+// ServerMessageEvent reports a raw server-side exchange, fired either side
+// of engine processing so applications can observe (or have intercepted)
+// every request (paper §III point 2).
+type ServerMessageEvent struct {
+	Service  string
+	Request  *transport.Request
+	Response *transport.Response
+}
+
+// DeploymentMessageEvent reports a deployment or undeployment.
+type DeploymentMessageEvent struct {
+	Service    string
+	Endpoint   string
+	Undeployed bool
+	Err        error
+}
+
+// PeerMessageListener is the application's window onto the interface tree:
+// "Each of the interfaces below the Peer fire an event as the result of its
+// activities and these events are brought together by the
+// PeerMessageListener interface" (paper §III).
+type PeerMessageListener interface {
+	OnDiscoveryMessage(DiscoveryEvent)
+	OnPublishMessage(PublishEvent)
+	OnClientMessage(ClientMessageEvent)
+	OnServerMessage(ServerMessageEvent)
+	OnDeploymentMessage(DeploymentMessageEvent)
+}
+
+// ListenerFuncs adapts individual callbacks to PeerMessageListener; nil
+// fields ignore that event class.
+type ListenerFuncs struct {
+	Discovery  func(DiscoveryEvent)
+	Publish    func(PublishEvent)
+	Client     func(ClientMessageEvent)
+	Server     func(ServerMessageEvent)
+	Deployment func(DeploymentMessageEvent)
+}
+
+// OnDiscoveryMessage implements PeerMessageListener.
+func (l ListenerFuncs) OnDiscoveryMessage(e DiscoveryEvent) {
+	if l.Discovery != nil {
+		l.Discovery(e)
+	}
+}
+
+// OnPublishMessage implements PeerMessageListener.
+func (l ListenerFuncs) OnPublishMessage(e PublishEvent) {
+	if l.Publish != nil {
+		l.Publish(e)
+	}
+}
+
+// OnClientMessage implements PeerMessageListener.
+func (l ListenerFuncs) OnClientMessage(e ClientMessageEvent) {
+	if l.Client != nil {
+		l.Client(e)
+	}
+}
+
+// OnServerMessage implements PeerMessageListener.
+func (l ListenerFuncs) OnServerMessage(e ServerMessageEvent) {
+	if l.Server != nil {
+		l.Server(e)
+	}
+}
+
+// OnDeploymentMessage implements PeerMessageListener.
+func (l ListenerFuncs) OnDeploymentMessage(e DeploymentMessageEvent) {
+	if l.Deployment != nil {
+		l.Deployment(e)
+	}
+}
+
+// eventBus fans events out to the registered listeners. Delivery is
+// synchronous and ordered per firing component; listeners that need
+// decoupling wrap themselves with NewQueuedListener.
+type eventBus struct {
+	mu        sync.RWMutex
+	listeners []PeerMessageListener
+}
+
+func (b *eventBus) add(l PeerMessageListener) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.listeners = append(b.listeners, l)
+}
+
+func (b *eventBus) remove(l PeerMessageListener) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, x := range b.listeners {
+		if x == l {
+			b.listeners = append(b.listeners[:i], b.listeners[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (b *eventBus) snapshot() []PeerMessageListener {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return append([]PeerMessageListener(nil), b.listeners...)
+}
+
+func (b *eventBus) fireDiscovery(e DiscoveryEvent) {
+	for _, l := range b.snapshot() {
+		l.OnDiscoveryMessage(e)
+	}
+}
+
+func (b *eventBus) firePublish(e PublishEvent) {
+	for _, l := range b.snapshot() {
+		l.OnPublishMessage(e)
+	}
+}
+
+func (b *eventBus) fireClient(e ClientMessageEvent) {
+	for _, l := range b.snapshot() {
+		l.OnClientMessage(e)
+	}
+}
+
+func (b *eventBus) fireServer(e ServerMessageEvent) {
+	for _, l := range b.snapshot() {
+		l.OnServerMessage(e)
+	}
+}
+
+func (b *eventBus) fireDeployment(e DeploymentMessageEvent) {
+	for _, l := range b.snapshot() {
+		l.OnDeploymentMessage(e)
+	}
+}
+
+// QueuedListener decouples a slow listener from the firing component: events
+// are buffered on a channel and delivered from a dedicated goroutine.
+// Events beyond the buffer capacity are dropped and counted.
+type QueuedListener struct {
+	inner PeerMessageListener
+	ch    chan func()
+	done  chan struct{}
+
+	mu      sync.Mutex
+	dropped int64
+	closed  bool
+}
+
+// NewQueuedListener wraps inner with an event queue of the given capacity.
+// Close must be called to release the delivery goroutine.
+func NewQueuedListener(inner PeerMessageListener, capacity int) *QueuedListener {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	q := &QueuedListener{
+		inner: inner,
+		ch:    make(chan func(), capacity),
+		done:  make(chan struct{}),
+	}
+	go func() {
+		defer close(q.done)
+		for fn := range q.ch {
+			fn()
+		}
+	}()
+	return q
+}
+
+// Dropped reports how many events overflowed the queue.
+func (q *QueuedListener) Dropped() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped
+}
+
+// Close stops delivery after draining queued events.
+func (q *QueuedListener) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	close(q.ch)
+	<-q.done
+}
+
+func (q *QueuedListener) enqueue(fn func()) {
+	q.mu.Lock()
+	if q.closed {
+		q.dropped++
+		q.mu.Unlock()
+		return
+	}
+	select {
+	case q.ch <- fn:
+	default:
+		q.dropped++
+	}
+	q.mu.Unlock()
+}
+
+// OnDiscoveryMessage implements PeerMessageListener.
+func (q *QueuedListener) OnDiscoveryMessage(e DiscoveryEvent) {
+	q.enqueue(func() { q.inner.OnDiscoveryMessage(e) })
+}
+
+// OnPublishMessage implements PeerMessageListener.
+func (q *QueuedListener) OnPublishMessage(e PublishEvent) {
+	q.enqueue(func() { q.inner.OnPublishMessage(e) })
+}
+
+// OnClientMessage implements PeerMessageListener.
+func (q *QueuedListener) OnClientMessage(e ClientMessageEvent) {
+	q.enqueue(func() { q.inner.OnClientMessage(e) })
+}
+
+// OnServerMessage implements PeerMessageListener.
+func (q *QueuedListener) OnServerMessage(e ServerMessageEvent) {
+	q.enqueue(func() { q.inner.OnServerMessage(e) })
+}
+
+// OnDeploymentMessage implements PeerMessageListener.
+func (q *QueuedListener) OnDeploymentMessage(e DeploymentMessageEvent) {
+	q.enqueue(func() { q.inner.OnDeploymentMessage(e) })
+}

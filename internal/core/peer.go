@@ -1,0 +1,359 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"wspeer/internal/engine"
+	"wspeer/internal/transport"
+)
+
+// Peer is the root of the WSPeer interface tree (paper Fig. 2). It owns the
+// client and server sides and the event bus through which every
+// component's activity reaches the application's PeerMessageListeners.
+type Peer struct {
+	bus    eventBus
+	client *Client
+	server *Server
+}
+
+// NewPeer returns a peer with empty client and server sides; bindings
+// populate them with locators, publishers, deployers and invokers.
+func NewPeer() *Peer {
+	p := &Peer{}
+	p.client = &Client{peer: p, invokers: make(map[string]Invoker)}
+	p.server = &Server{peer: p, deployments: make(map[string]*Deployment), published: make(map[string][]publication)}
+	return p
+}
+
+// Client returns the client side of the peer.
+func (p *Peer) Client() *Client { return p.client }
+
+// Server returns the server side of the peer.
+func (p *Peer) Server() *Server { return p.server }
+
+// AddListener subscribes the application to the peer's events.
+func (p *Peer) AddListener(l PeerMessageListener) { p.bus.add(l) }
+
+// RemoveListener unsubscribes a listener; it reports whether the listener
+// was registered.
+func (p *Peer) RemoveListener(l PeerMessageListener) bool { return p.bus.remove(l) }
+
+// FireServerMessage feeds a raw server-side exchange into the event tree.
+// Bindings hook their hosts' observers to this (paper: the application "is
+// notified of all requests and responses either side of being processed by
+// the underlying messaging system").
+func (p *Peer) FireServerMessage(service string, req *transport.Request, resp *transport.Response) {
+	p.bus.fireServer(ServerMessageEvent{Service: service, Request: req, Response: resp})
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+// Client is the consumer side of the peer: it locates services through its
+// registered locators and creates Invocations bound to located services.
+type Client struct {
+	peer *Peer
+
+	mu       sync.RWMutex
+	locators []ServiceLocator
+	invokers map[string]Invoker // by endpoint scheme
+}
+
+// AddLocator registers a locator. Multiple locators can coexist — e.g. a
+// P2PS peer using the UDDI locator alongside advert discovery (paper §IV:
+// "these implementations need not remain self-contained").
+func (c *Client) AddLocator(l ServiceLocator) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.locators = append(c.locators, l)
+}
+
+// RegisterInvoker registers an invoker for its endpoint schemes.
+func (c *Client) RegisterInvoker(inv Invoker) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range inv.Schemes() {
+		c.invokers[s] = inv
+	}
+}
+
+// Locators returns the registered locators.
+func (c *Client) Locators() []ServiceLocator {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]ServiceLocator(nil), c.locators...)
+}
+
+// Locate runs the query against every registered locator concurrently and
+// returns all located services. Each find fires a DiscoveryEvent, and a
+// final Done event is fired before Locate returns. Locator failures are
+// reported as events and in the joined error, but do not suppress results
+// from other locators.
+func (c *Client) Locate(ctx context.Context, q ServiceQuery) ([]*ServiceInfo, error) {
+	locators := c.Locators()
+	if len(locators) == 0 {
+		return nil, ErrNoLocator
+	}
+	var mu sync.Mutex
+	var found []*ServiceInfo
+	var errs []error
+	var wg sync.WaitGroup
+	for _, loc := range locators {
+		wg.Add(1)
+		go func(loc ServiceLocator) {
+			defer wg.Done()
+			err := loc.Locate(ctx, q, func(info *ServiceInfo) {
+				if info.Locator == "" {
+					info.Locator = loc.Name()
+				}
+				mu.Lock()
+				found = append(found, info)
+				mu.Unlock()
+				c.peer.bus.fireDiscovery(DiscoveryEvent{Query: q, Service: info, Locator: loc.Name()})
+			})
+			if err != nil {
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("%s: %w", loc.Name(), err))
+				mu.Unlock()
+				c.peer.bus.fireDiscovery(DiscoveryEvent{Query: q, Locator: loc.Name(), Err: err})
+			}
+		}(loc)
+	}
+	wg.Wait()
+	err := errors.Join(errs...)
+	c.peer.bus.fireDiscovery(DiscoveryEvent{Query: q, Done: true, Err: err})
+	if len(found) == 0 && err != nil {
+		return nil, err
+	}
+	return found, nil
+}
+
+// LocateAsync starts a discovery and returns immediately; results arrive
+// through the peer's DiscoveryEvents and through the optional callbacks.
+func (c *Client) LocateAsync(ctx context.Context, q ServiceQuery, onFound func(*ServiceInfo), onDone func(error)) {
+	go func() {
+		infos, err := c.Locate(ctx, q)
+		if onFound != nil {
+			for _, info := range infos {
+				onFound(info)
+			}
+		}
+		if onDone != nil {
+			onDone(err)
+		}
+	}()
+}
+
+// LocateOne returns the first service located for the query.
+func (c *Client) LocateOne(ctx context.Context, q ServiceQuery) (*ServiceInfo, error) {
+	infos, err := c.Locate(ctx, q)
+	if err != nil && len(infos) == 0 {
+		return nil, err
+	}
+	if len(infos) == 0 {
+		return nil, fmt.Errorf("core: no service found for %q", q.QueryName())
+	}
+	return infos[0], nil
+}
+
+// NewInvocation binds an invocation to a located service, selecting the
+// invoker by the endpoint's URI scheme.
+func (c *Client) NewInvocation(svc *ServiceInfo) (*Invocation, error) {
+	if svc == nil || svc.Endpoint == "" {
+		return nil, fmt.Errorf("core: service info has no endpoint")
+	}
+	scheme := transport.SchemeOf(svc.Endpoint)
+	c.mu.RLock()
+	inv, ok := c.invokers[scheme]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no invoker registered for scheme %q (endpoint %s)", scheme, svc.Endpoint)
+	}
+	return &Invocation{client: c, svc: svc, invoker: inv}, nil
+}
+
+// Invocation is a client-side handle on one located service.
+type Invocation struct {
+	client  *Client
+	svc     *ServiceInfo
+	invoker Invoker
+}
+
+// Service returns the target service.
+func (inv *Invocation) Service() *ServiceInfo { return inv.svc }
+
+// Invoke calls an operation synchronously. The exchange is also reported
+// as a ClientMessageEvent.
+func (inv *Invocation) Invoke(ctx context.Context, op string, params ...engine.Param) (*engine.Result, error) {
+	res, err := inv.invoker.Invoke(ctx, inv.svc, op, params)
+	inv.client.peer.bus.fireClient(ClientMessageEvent{
+		Service:   inv.svc.Name,
+		Operation: op,
+		Result:    res,
+		Err:       err,
+	})
+	return res, err
+}
+
+// InvokeAsync calls an operation without blocking; the outcome arrives at
+// the callback (which may be nil — events still fire) from another
+// goroutine. This is the event-driven mode the paper argues suits
+// "P2P style interactions with unreliable nodes".
+func (inv *Invocation) InvokeAsync(ctx context.Context, op string, params []engine.Param, cb func(*engine.Result, error)) {
+	go func() {
+		res, err := inv.Invoke(ctx, op, params...)
+		if cb != nil {
+			cb(res, err)
+		}
+	}()
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+// publication records where a deployment was published so it can be
+// withdrawn.
+type publication struct {
+	publisher ServicePublisher
+	location  string
+}
+
+// Server is the provider side of the peer: it deploys services through its
+// deployer and announces them through its publishers.
+type Server struct {
+	peer *Peer
+
+	mu          sync.Mutex
+	deployer    ServiceDeployer
+	publishers  []ServicePublisher
+	deployments map[string]*Deployment
+	published   map[string][]publication
+}
+
+// SetDeployer installs the deployer component.
+func (s *Server) SetDeployer(d ServiceDeployer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deployer = d
+}
+
+// AddPublisher registers a publisher. Multiple publishers can coexist
+// (e.g. UDDI and P2PS adverts for the same service).
+func (s *Server) AddPublisher(p ServicePublisher) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.publishers = append(s.publishers, p)
+}
+
+// Deploy exposes a service definition through the deployer and fires a
+// DeploymentMessageEvent.
+func (s *Server) Deploy(def engine.ServiceDef) (*Deployment, error) {
+	s.mu.Lock()
+	d := s.deployer
+	s.mu.Unlock()
+	if d == nil {
+		return nil, ErrNoDeployer
+	}
+	dep, err := d.Deploy(def)
+	if err != nil {
+		s.peer.bus.fireDeployment(DeploymentMessageEvent{Service: def.Name, Err: err})
+		return nil, err
+	}
+	if dep.Deployer == "" {
+		dep.Deployer = d.Name()
+	}
+	s.mu.Lock()
+	s.deployments[def.Name] = dep
+	s.mu.Unlock()
+	s.peer.bus.fireDeployment(DeploymentMessageEvent{Service: def.Name, Endpoint: dep.Endpoint})
+	return dep, nil
+}
+
+// Publish announces a deployment through every registered publisher,
+// firing a PublishEvent per publisher. All publishers are attempted; their
+// errors are joined.
+func (s *Server) Publish(ctx context.Context, dep *Deployment) error {
+	s.mu.Lock()
+	pubs := append([]ServicePublisher(nil), s.publishers...)
+	s.mu.Unlock()
+	if len(pubs) == 0 {
+		return fmt.Errorf("core: no ServicePublisher registered")
+	}
+	var errs []error
+	name := dep.Service.Name()
+	for _, pub := range pubs {
+		loc, err := pub.Publish(ctx, dep)
+		s.peer.bus.firePublish(PublishEvent{Service: name, Location: loc, Publisher: pub.Name(), Err: err})
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", pub.Name(), err))
+			continue
+		}
+		s.mu.Lock()
+		s.published[name] = append(s.published[name], publication{publisher: pub, location: loc})
+		s.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}
+
+// DeployAndPublish is the common composite: deploy, then publish
+// everywhere.
+func (s *Server) DeployAndPublish(ctx context.Context, def engine.ServiceDef) (*Deployment, error) {
+	dep, err := s.Deploy(def)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Publish(ctx, dep); err != nil {
+		return dep, err
+	}
+	return dep, nil
+}
+
+// Deployment returns a deployment by service name, or nil.
+func (s *Server) Deployment(name string) *Deployment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deployments[name]
+}
+
+// Deployments lists deployed service names.
+func (s *Server) Deployments() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.deployments))
+	for n := range s.deployments {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Undeploy withdraws the service from every publisher it was published to
+// and removes it from the deployer.
+func (s *Server) Undeploy(ctx context.Context, name string) error {
+	s.mu.Lock()
+	d := s.deployer
+	pubs := s.published[name]
+	delete(s.published, name)
+	_, deployed := s.deployments[name]
+	delete(s.deployments, name)
+	s.mu.Unlock()
+	if !deployed {
+		return fmt.Errorf("core: service %q is not deployed", name)
+	}
+	var errs []error
+	for _, p := range pubs {
+		if err := p.publisher.Unpublish(ctx, p.location); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", p.publisher.Name(), err))
+		}
+	}
+	if d != nil {
+		if err := d.Undeploy(name); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	err := errors.Join(errs...)
+	s.peer.bus.fireDeployment(DeploymentMessageEvent{Service: name, Undeployed: true, Err: err})
+	return err
+}

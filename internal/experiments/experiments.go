@@ -1,0 +1,76 @@
+// Package experiments implements the reproduction experiments indexed in
+// DESIGN.md (E1-E10). The WSPeer paper contains no quantitative tables —
+// its figures are architecture and process diagrams — so the evaluation
+// reproduced here is (a) each depicted process run end to end and measured,
+// and (b) the paper's qualitative performance claims (centralized
+// discovery bottlenecks vs. P2P scaling, resilience to node failure,
+// asynchronous invocation, byte-level stub generation, container-less lazy
+// hosting) turned into measured experiments whose *shape* must hold.
+//
+// Both cmd/benchharness and the repository's testing.B benchmarks drive
+// the functions in this package, so printed tables and benchmark numbers
+// come from the same workload code.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Print renders the table.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// f64 formats a float compactly.
+func f64(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// fpct formats a ratio as a percentage.
+func fpct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,319 @@
+// Package httpd is WSPeer's container-less HTTP hosting environment.
+//
+// In the traditional model an application is deployed *into* a container
+// that owns the request/response lifecycle. WSPeer "reverses the power
+// relationship between the deployed component and the environment used for
+// deploying and exposing it, in effect allowing the component to become its
+// own container" (paper §III). Concretely:
+//
+//   - No server runs until the application deploys its first service; the
+//     listener is launched lazily at that moment.
+//   - The application may register an Interceptor that sees every raw
+//     request before the messaging engine does and may handle it outright.
+//   - The host's own capabilities are deliberately minimal: listing the
+//     available services, serving their WSDL, and forwarding requests to
+//     the engine.
+package httpd
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"wspeer/internal/engine"
+	"wspeer/internal/soap"
+	"wspeer/internal/transport"
+	"wspeer/internal/wsdl"
+)
+
+// BasePath is the URL prefix under which services are exposed.
+const BasePath = "/services/"
+
+// maxRequestBytes bounds request bodies accepted from the network.
+const maxRequestBytes = 64 << 20
+
+// Interceptor lets the hosting application handle a raw request before the
+// messaging engine sees it. Returning handled=false passes the request on
+// unchanged; returning handled=true short-circuits with the given response.
+type Interceptor func(service string, req *transport.Request) (resp *transport.Response, handled bool, err error)
+
+// Observer receives raw request/response notifications either side of
+// engine processing (the hook the core layer turns into ServerMessageEvents).
+type Observer func(service string, req *transport.Request, resp *transport.Response)
+
+// Options configures a Host.
+type Options struct {
+	// ListenAddr is the TCP address to bind when the first service is
+	// deployed (default "127.0.0.1:0").
+	ListenAddr string
+	// Profile selects the endpoint scheme advertised in WSDL: "http"
+	// (default) or "httpg" for the authenticated profile.
+	Profile string
+	// Secret is the shared secret for the httpg profile.
+	Secret []byte
+}
+
+// Host exposes an engine's services over HTTP without a container.
+type Host struct {
+	eng  *engine.Engine
+	opts Options
+
+	mu          sync.Mutex
+	ln          net.Listener
+	srv         *http.Server
+	started     bool
+	closed      bool
+	interceptor Interceptor
+	observer    Observer
+	deployed    map[string]bool
+}
+
+// New returns a host for the engine's services. The HTTP listener is NOT
+// started; it launches on the first Deploy.
+func New(eng *engine.Engine, opts Options) *Host {
+	if opts.ListenAddr == "" {
+		opts.ListenAddr = "127.0.0.1:0"
+	}
+	if opts.Profile == "" {
+		opts.Profile = "http"
+	}
+	return &Host{eng: eng, opts: opts, deployed: make(map[string]bool)}
+}
+
+// SetInterceptor installs the application's raw-request hook. For
+// applications that "do not wish to deal with server-side message
+// processing" (paper §IV-A) simply never install one.
+func (h *Host) SetInterceptor(i Interceptor) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.interceptor = i
+}
+
+// SetObserver installs a request/response observer.
+func (h *Host) SetObserver(o Observer) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.observer = o
+}
+
+// Started reports whether the lazy listener is up.
+func (h *Host) Started() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.started
+}
+
+// Deploy registers the service with the engine and exposes it, launching
+// the HTTP server if this is the first deployment. It returns the service's
+// endpoint URL.
+func (h *Host) Deploy(def engine.ServiceDef) (string, error) {
+	if _, err := h.eng.Deploy(def); err != nil {
+		return "", err
+	}
+	if err := h.ensureStarted(); err != nil {
+		h.eng.Undeploy(def.Name)
+		return "", err
+	}
+	h.mu.Lock()
+	h.deployed[def.Name] = true
+	h.mu.Unlock()
+	return h.Endpoint(def.Name), nil
+}
+
+// Undeploy removes a service from the engine and the host listing. The
+// listener keeps running for remaining services.
+func (h *Host) Undeploy(name string) bool {
+	h.mu.Lock()
+	delete(h.deployed, name)
+	h.mu.Unlock()
+	return h.eng.Undeploy(name)
+}
+
+// Endpoint returns the URL a deployed service is reachable at ("" before
+// the server has started).
+func (h *Host) Endpoint(service string) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ln == nil {
+		return ""
+	}
+	return fmt.Sprintf("%s://%s%s%s", h.opts.Profile, h.ln.Addr().String(), BasePath, service)
+}
+
+// WSDL generates the WSDL for a deployed service bound to its live
+// endpoint.
+func (h *Host) WSDL(service string) (*wsdl.Definitions, error) {
+	svc := h.eng.Service(service)
+	if svc == nil {
+		return nil, fmt.Errorf("httpd: no service %q", service)
+	}
+	transportURI := wsdl.TransportHTTP
+	if h.opts.Profile == "httpg" {
+		transportURI = wsdl.TransportHTTPG
+	}
+	return svc.WSDL(transportURI, h.Endpoint(service))
+}
+
+// ensureStarted lazily launches the listener.
+func (h *Host) ensureStarted() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return fmt.Errorf("httpd: host is closed")
+	}
+	if h.started {
+		return nil
+	}
+	ln, err := net.Listen("tcp", h.opts.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("httpd: listen %s: %w", h.opts.ListenAddr, err)
+	}
+	h.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc(BasePath, h.handle)
+	mux.HandleFunc("/", h.handleIndex)
+	h.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go h.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	h.started = true
+	return nil
+}
+
+// Close shuts the listener down.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	if !h.started {
+		return nil
+	}
+	h.started = false
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return h.srv.Shutdown(ctx)
+}
+
+func (h *Host) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" && r.URL.Path != BasePath {
+		http.NotFound(w, r)
+		return
+	}
+	h.mu.Lock()
+	names := make([]string, 0, len(h.deployed))
+	for n := range h.deployed {
+		names = append(names, n)
+	}
+	h.mu.Unlock()
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "WSPeer services:")
+	for _, n := range names {
+		fmt.Fprintf(w, "  %s%s (?wsdl for description)\n", BasePath, n)
+	}
+}
+
+func (h *Host) handle(w http.ResponseWriter, r *http.Request) {
+	service := strings.TrimPrefix(r.URL.Path, BasePath)
+	if service == "" {
+		h.handleIndex(w, r)
+		return
+	}
+	h.mu.Lock()
+	known := h.deployed[service]
+	interceptor := h.interceptor
+	observer := h.observer
+	h.mu.Unlock()
+	if !known {
+		http.NotFound(w, r)
+		return
+	}
+
+	if r.Method == http.MethodGet {
+		if _, ok := r.URL.Query()["wsdl"]; ok {
+			defs, err := h.WSDL(service)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			data, err := defs.Marshal()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+			w.Write(data)
+			return
+		}
+		http.Error(w, "POST SOAP requests here, or GET ?wsdl", http.StatusMethodNotAllowed)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes))
+	if err != nil {
+		http.Error(w, "reading request", http.StatusBadRequest)
+		return
+	}
+	if h.opts.Profile == "httpg" {
+		proof := r.Header.Get(transport.HTTPGAuthHeader)
+		if !transport.VerifyHTTPG(h.opts.Secret, body, proof) {
+			http.Error(w, "httpg authentication failed", http.StatusForbidden)
+			return
+		}
+	}
+
+	req := &transport.Request{
+		Endpoint:    r.URL.String(),
+		Action:      strings.Trim(r.Header.Get(transport.SOAPActionHeader), `"`),
+		ContentType: r.Header.Get("Content-Type"),
+		Body:        body,
+	}
+
+	var resp *transport.Response
+	handled := false
+	if interceptor != nil {
+		resp, handled, err = interceptor(service, req)
+		if err != nil {
+			writeFault(w, soap.ServerFault(err))
+			return
+		}
+	}
+	if !handled {
+		resp, err = h.eng.ServeRequest(r.Context(), service, req)
+		if err != nil {
+			writeFault(w, soap.ServerFault(err))
+			return
+		}
+	}
+	if observer != nil {
+		observer(service, req, resp)
+	}
+	if len(resp.Body) == 0 {
+		w.WriteHeader(http.StatusAccepted) // one-way
+		return
+	}
+	ct := resp.ContentType
+	if ct == "" {
+		ct = soap.ContentType
+	}
+	w.Header().Set("Content-Type", ct)
+	if resp.Faulted {
+		w.WriteHeader(http.StatusInternalServerError)
+	}
+	w.Write(resp.Body)
+}
+
+func writeFault(w http.ResponseWriter, f *soap.Fault) {
+	env := soap.NewEnvelope().SetFault(f)
+	w.Header().Set("Content-Type", soap.ContentType)
+	w.WriteHeader(http.StatusInternalServerError)
+	w.Write(env.Marshal())
+}

@@ -1,0 +1,272 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDeliveryAndVirtualTime(t *testing.T) {
+	sim := New(1)
+	sim.SetDefaultLink(Link{Latency: 10 * time.Millisecond})
+	a, err := sim.NewEndpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.NewEndpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	var at time.Duration
+	b.SetReceiver(func(from string, data []byte) {
+		got = append(got, from+":"+string(data))
+		at = sim.Now()
+	})
+	if err := a.Send("b", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if n := sim.Run(0); n != 1 {
+		t.Fatalf("events = %d", n)
+	}
+	if len(got) != 1 || got[0] != "sim://a:hi" {
+		t.Fatalf("got = %v", got)
+	}
+	if at != 10*time.Millisecond {
+		t.Fatalf("delivery time = %v", at)
+	}
+	st := sim.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Bytes != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAddressForms(t *testing.T) {
+	sim := New(1)
+	a, _ := sim.NewEndpoint("a")
+	b, _ := sim.NewEndpoint("b")
+	n := 0
+	b.SetReceiver(func(string, []byte) { n++ })
+	a.Send("sim://b", []byte("x"))
+	a.Send("b", []byte("y"))
+	sim.Run(0)
+	if n != 2 {
+		t.Fatalf("delivered = %d", n)
+	}
+}
+
+func TestDuplicateEndpoint(t *testing.T) {
+	sim := New(1)
+	if _, err := sim.NewEndpoint("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.NewEndpoint("a"); err == nil {
+		t.Fatal("duplicate endpoint accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []string {
+		sim := New(seed)
+		sim.SetDefaultLink(Link{Latency: 5 * time.Millisecond, Jitter: 5 * time.Millisecond, Loss: 0.3})
+		var log []string
+		var mu sync.Mutex
+		eps := make([]*Endpoint, 5)
+		for i := range eps {
+			name := fmt.Sprintf("n%d", i)
+			ep, _ := sim.NewEndpoint(name)
+			ep.SetReceiver(func(from string, data []byte) {
+				mu.Lock()
+				log = append(log, fmt.Sprintf("%v %s->%s %s", sim.Now(), from, name, data))
+				mu.Unlock()
+			})
+			eps[i] = ep
+		}
+		for i := 0; i < 50; i++ {
+			eps[i%5].Send(fmt.Sprintf("n%d", (i+1)%5), []byte(fmt.Sprintf("m%d", i)))
+		}
+		sim.Run(0)
+		return log
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestLoss(t *testing.T) {
+	sim := New(7)
+	sim.SetDefaultLink(Link{Latency: time.Millisecond, Loss: 1.0})
+	a, _ := sim.NewEndpoint("a")
+	b, _ := sim.NewEndpoint("b")
+	delivered := 0
+	b.SetReceiver(func(string, []byte) { delivered++ })
+	for i := 0; i < 10; i++ {
+		a.Send("b", []byte("x"))
+	}
+	sim.Run(0)
+	if delivered != 0 {
+		t.Fatalf("loss=1.0 delivered %d", delivered)
+	}
+	st := sim.Stats()
+	if st.Dropped != 10 || st.Sent != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPerLinkOverride(t *testing.T) {
+	sim := New(1)
+	sim.SetDefaultLink(Link{Latency: time.Millisecond})
+	sim.SetLink("a", "b", Link{Latency: 100 * time.Millisecond})
+	a, _ := sim.NewEndpoint("a")
+	b, _ := sim.NewEndpoint("b")
+	var at time.Duration
+	b.SetReceiver(func(string, []byte) { at = sim.Now() })
+	a.Send("b", nil)
+	sim.Run(0)
+	if at != 100*time.Millisecond {
+		t.Fatalf("override latency = %v", at)
+	}
+	// Reverse direction uses the default.
+	a.SetReceiver(func(string, []byte) { at = sim.Now() })
+	b.Send("a", nil)
+	sim.Run(0)
+	if at != 101*time.Millisecond {
+		t.Fatalf("reverse latency = %v", at)
+	}
+}
+
+func TestClosedEndpoint(t *testing.T) {
+	sim := New(1)
+	a, _ := sim.NewEndpoint("a")
+	b, _ := sim.NewEndpoint("b")
+	delivered := 0
+	b.SetReceiver(func(string, []byte) { delivered++ })
+	a.Send("b", []byte("1"))
+	b.Close()
+	if !b.Closed() {
+		t.Fatal("Closed flag")
+	}
+	a.Send("b", []byte("2"))
+	sim.Run(0)
+	if delivered != 0 {
+		t.Fatalf("delivered to closed endpoint: %d", delivered)
+	}
+	st := sim.Stats()
+	if st.Dead != 2 {
+		t.Fatalf("dead = %d", st.Dead)
+	}
+	if err := b.Send("a", nil); err == nil {
+		t.Fatal("send on closed endpoint accepted")
+	}
+}
+
+func TestAfterFuncAndCancel(t *testing.T) {
+	sim := New(1)
+	fired := []string{}
+	sim.AfterFunc(30*time.Millisecond, func() { fired = append(fired, "late") })
+	sim.AfterFunc(10*time.Millisecond, func() { fired = append(fired, "early") })
+	cancel := sim.AfterFunc(20*time.Millisecond, func() { fired = append(fired, "cancelled") })
+	cancel()
+	sim.Run(0)
+	if len(fired) != 2 || fired[0] != "early" || fired[1] != "late" {
+		t.Fatalf("fired = %v", fired)
+	}
+	if sim.Now() != 30*time.Millisecond {
+		t.Fatalf("now = %v", sim.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	sim := New(1)
+	fired := 0
+	sim.AfterFunc(10*time.Millisecond, func() { fired++ })
+	sim.AfterFunc(50*time.Millisecond, func() { fired++ })
+	n := sim.RunFor(20 * time.Millisecond)
+	if n != 1 || fired != 1 {
+		t.Fatalf("RunFor processed %d, fired %d", n, fired)
+	}
+	if sim.Now() != 20*time.Millisecond {
+		t.Fatalf("clock = %v", sim.Now())
+	}
+	sim.Run(0)
+	if fired != 2 {
+		t.Fatalf("remaining timer lost: %d", fired)
+	}
+}
+
+func TestHottest(t *testing.T) {
+	sim := New(1)
+	a, _ := sim.NewEndpoint("a")
+	sim.NewEndpoint("hub")
+	sim.NewEndpoint("c")
+	for i := 0; i < 5; i++ {
+		a.Send("hub", nil)
+	}
+	a.Send("c", nil)
+	sim.Run(0)
+	name, count := sim.Hottest()
+	if name != "hub" || count != 5 {
+		t.Fatalf("hottest = %s/%d", name, count)
+	}
+	if sim.Received("c") != 1 {
+		t.Fatalf("received(c) = %d", sim.Received("c"))
+	}
+}
+
+func TestPayloadIsolation(t *testing.T) {
+	sim := New(1)
+	a, _ := sim.NewEndpoint("a")
+	b, _ := sim.NewEndpoint("b")
+	var got []byte
+	b.SetReceiver(func(_ string, data []byte) { got = data })
+	buf := []byte("original")
+	a.Send("b", buf)
+	buf[0] = 'X'
+	sim.Run(0)
+	if string(got) != "original" {
+		t.Fatalf("payload aliased sender buffer: %q", got)
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// A receiver that sends in its handler: the relay pattern every P2PS
+	// rendezvous uses.
+	sim := New(1)
+	sim.SetDefaultLink(Link{Latency: time.Millisecond})
+	a, _ := sim.NewEndpoint("a")
+	relay, _ := sim.NewEndpoint("relay")
+	c, _ := sim.NewEndpoint("c")
+	relay.SetReceiver(func(_ string, data []byte) {
+		relay.Send("c", append(data, '!'))
+	})
+	var got string
+	c.SetReceiver(func(_ string, data []byte) { got = string(data) })
+	a.Send("relay", []byte("q"))
+	sim.Run(0)
+	if got != "q!" {
+		t.Fatalf("relay = %q", got)
+	}
+	if sim.Now() != 2*time.Millisecond {
+		t.Fatalf("two hops = %v", sim.Now())
+	}
+}

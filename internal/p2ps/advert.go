@@ -1,0 +1,211 @@
+package p2ps
+
+import (
+	"fmt"
+	"sort"
+
+	"wspeer/internal/xmlutil"
+)
+
+// PipeAdvertisement advertises one pipe: "essentially a named endpoint —
+// although the endpoint is logical and requires an EndpointResolver to turn
+// it into a physical address" (paper §IV-B).
+type PipeAdvertisement struct {
+	ID   string // unique pipe ID
+	Name string // human name within its service
+	Peer PeerID // owning peer
+}
+
+// ServiceAdvertisement advertises a service as a collection of named pipes.
+// WSPeer's extension adds a definition pipe "from which the service
+// definition (WSDL in our case) can be retrieved", plus free-form
+// attributes enabling the attribute-based search P2PS favours over DHT
+// key lookup.
+type ServiceAdvertisement struct {
+	ID             string
+	Name           string
+	Peer           PeerID
+	Group          string
+	Pipes          []PipeAdvertisement
+	DefinitionPipe *PipeAdvertisement
+	Attrs          map[string]string
+}
+
+// PeerAdvertisement announces a peer and how to reach it.
+type PeerAdvertisement struct {
+	ID         PeerID
+	Name       string
+	Addr       string
+	Group      string
+	Rendezvous bool
+}
+
+// Pipe returns the service's pipe with the given name, or nil.
+func (s *ServiceAdvertisement) Pipe(name string) *PipeAdvertisement {
+	for i := range s.Pipes {
+		if s.Pipes[i].Name == name {
+			return &s.Pipes[i]
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// XML serialization
+
+var (
+	pipeAdvName    = xmlutil.N(Namespace, "PipeAdvertisement")
+	serviceAdvName = xmlutil.N(Namespace, "ServiceAdvertisement")
+	peerAdvName    = xmlutil.N(Namespace, "PeerAdvertisement")
+)
+
+// Element serializes the pipe advertisement.
+func (p *PipeAdvertisement) Element() *xmlutil.Element {
+	el := xmlutil.NewElement(pipeAdvName)
+	el.NewChild(xmlutil.N(Namespace, "Id")).SetText(p.ID)
+	el.NewChild(xmlutil.N(Namespace, "Name")).SetText(p.Name)
+	el.NewChild(xmlutil.N(Namespace, "Peer")).SetText(string(p.Peer))
+	return el
+}
+
+// PipeAdvertisementFromElement parses a pipe advertisement.
+func PipeAdvertisementFromElement(el *xmlutil.Element) (*PipeAdvertisement, error) {
+	if el.Name != pipeAdvName {
+		return nil, fmt.Errorf("p2ps: element %v is not a PipeAdvertisement", el.Name)
+	}
+	p := &PipeAdvertisement{}
+	if c := el.Child(xmlutil.N(Namespace, "Id")); c != nil {
+		p.ID = c.TrimmedText()
+	}
+	if c := el.Child(xmlutil.N(Namespace, "Name")); c != nil {
+		p.Name = c.TrimmedText()
+	}
+	if c := el.Child(xmlutil.N(Namespace, "Peer")); c != nil {
+		p.Peer = PeerID(c.TrimmedText())
+	}
+	if p.ID == "" {
+		return nil, fmt.Errorf("p2ps: PipeAdvertisement without Id")
+	}
+	return p, nil
+}
+
+// Element serializes the service advertisement.
+func (s *ServiceAdvertisement) Element() *xmlutil.Element {
+	el := xmlutil.NewElement(serviceAdvName)
+	el.NewChild(xmlutil.N(Namespace, "Id")).SetText(s.ID)
+	el.NewChild(xmlutil.N(Namespace, "Name")).SetText(s.Name)
+	el.NewChild(xmlutil.N(Namespace, "Peer")).SetText(string(s.Peer))
+	if s.Group != "" {
+		el.NewChild(xmlutil.N(Namespace, "Group")).SetText(s.Group)
+	}
+	for i := range s.Pipes {
+		el.AddChild(s.Pipes[i].Element())
+	}
+	if s.DefinitionPipe != nil {
+		def := el.NewChild(xmlutil.N(Namespace, "Definition"))
+		def.AddChild(s.DefinitionPipe.Element())
+	}
+	if len(s.Attrs) > 0 {
+		attrs := el.NewChild(xmlutil.N(Namespace, "Attributes"))
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			a := attrs.NewChild(xmlutil.N(Namespace, "Attribute"))
+			a.SetAttr(xmlutil.N("", "name"), k)
+			a.SetText(s.Attrs[k])
+		}
+	}
+	return el
+}
+
+// ServiceAdvertisementFromElement parses a service advertisement.
+func ServiceAdvertisementFromElement(el *xmlutil.Element) (*ServiceAdvertisement, error) {
+	if el.Name != serviceAdvName {
+		return nil, fmt.Errorf("p2ps: element %v is not a ServiceAdvertisement", el.Name)
+	}
+	s := &ServiceAdvertisement{}
+	if c := el.Child(xmlutil.N(Namespace, "Id")); c != nil {
+		s.ID = c.TrimmedText()
+	}
+	if c := el.Child(xmlutil.N(Namespace, "Name")); c != nil {
+		s.Name = c.TrimmedText()
+	}
+	if c := el.Child(xmlutil.N(Namespace, "Peer")); c != nil {
+		s.Peer = PeerID(c.TrimmedText())
+	}
+	if c := el.Child(xmlutil.N(Namespace, "Group")); c != nil {
+		s.Group = c.TrimmedText()
+	}
+	for _, pel := range el.Children(pipeAdvName) {
+		p, err := PipeAdvertisementFromElement(pel)
+		if err != nil {
+			return nil, err
+		}
+		s.Pipes = append(s.Pipes, *p)
+	}
+	if def := el.Child(xmlutil.N(Namespace, "Definition")); def != nil {
+		if pel := def.Child(pipeAdvName); pel != nil {
+			p, err := PipeAdvertisementFromElement(pel)
+			if err != nil {
+				return nil, err
+			}
+			s.DefinitionPipe = p
+		}
+	}
+	if attrs := el.Child(xmlutil.N(Namespace, "Attributes")); attrs != nil {
+		s.Attrs = make(map[string]string)
+		for _, a := range attrs.Children(xmlutil.N(Namespace, "Attribute")) {
+			name, _ := a.Attr(xmlutil.N("", "name"))
+			if name != "" {
+				s.Attrs[name] = a.TrimmedText()
+			}
+		}
+	}
+	if s.ID == "" || s.Name == "" {
+		return nil, fmt.Errorf("p2ps: ServiceAdvertisement missing Id or Name")
+	}
+	return s, nil
+}
+
+// Element serializes the peer advertisement.
+func (p *PeerAdvertisement) Element() *xmlutil.Element {
+	el := xmlutil.NewElement(peerAdvName)
+	el.NewChild(xmlutil.N(Namespace, "Id")).SetText(string(p.ID))
+	el.NewChild(xmlutil.N(Namespace, "Name")).SetText(p.Name)
+	el.NewChild(xmlutil.N(Namespace, "Addr")).SetText(p.Addr)
+	el.NewChild(xmlutil.N(Namespace, "Group")).SetText(p.Group)
+	if p.Rendezvous {
+		el.NewChild(xmlutil.N(Namespace, "Rendezvous")).SetText("true")
+	}
+	return el
+}
+
+// PeerAdvertisementFromElement parses a peer advertisement.
+func PeerAdvertisementFromElement(el *xmlutil.Element) (*PeerAdvertisement, error) {
+	if el.Name != peerAdvName {
+		return nil, fmt.Errorf("p2ps: element %v is not a PeerAdvertisement", el.Name)
+	}
+	p := &PeerAdvertisement{}
+	if c := el.Child(xmlutil.N(Namespace, "Id")); c != nil {
+		p.ID = PeerID(c.TrimmedText())
+	}
+	if c := el.Child(xmlutil.N(Namespace, "Name")); c != nil {
+		p.Name = c.TrimmedText()
+	}
+	if c := el.Child(xmlutil.N(Namespace, "Addr")); c != nil {
+		p.Addr = c.TrimmedText()
+	}
+	if c := el.Child(xmlutil.N(Namespace, "Group")); c != nil {
+		p.Group = c.TrimmedText()
+	}
+	if c := el.Child(xmlutil.N(Namespace, "Rendezvous")); c != nil {
+		p.Rendezvous = c.TrimmedText() == "true"
+	}
+	if p.ID == "" {
+		return nil, fmt.Errorf("p2ps: PeerAdvertisement without Id")
+	}
+	return p, nil
+}

@@ -1,0 +1,112 @@
+package p2ps
+
+import "sync"
+
+// AdvertCache holds service advertisements a peer has learned about. Every
+// peer keeps one ("When a peer receives a query it checks its local cache
+// to see if it has a match"); rendezvous peers additionally fill theirs
+// with everything published through them. The cache is bounded: when full,
+// the oldest advert is evicted.
+type AdvertCache struct {
+	mu    sync.RWMutex
+	max   int
+	byID  map[string]*ServiceAdvertisement
+	order []string
+}
+
+// DefaultCacheSize bounds a cache when no explicit capacity is given.
+const DefaultCacheSize = 4096
+
+// NewAdvertCache returns a cache holding at most max adverts (max<=0 means
+// DefaultCacheSize).
+func NewAdvertCache(max int) *AdvertCache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &AdvertCache{max: max, byID: make(map[string]*ServiceAdvertisement)}
+}
+
+// Put stores (or refreshes) an advert. It reports whether the advert was
+// new to the cache.
+func (c *AdvertCache) Put(adv *ServiceAdvertisement) bool {
+	if adv == nil || adv.ID == "" {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.byID[adv.ID]; exists {
+		c.byID[adv.ID] = adv
+		return false
+	}
+	if len(c.order) >= c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.byID, oldest)
+	}
+	c.byID[adv.ID] = adv
+	c.order = append(c.order, adv.ID)
+	return true
+}
+
+// Get returns the advert with the given ID, or nil.
+func (c *AdvertCache) Get(id string) *ServiceAdvertisement {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.byID[id]
+}
+
+// Remove deletes an advert; it reports whether it was present.
+func (c *AdvertCache) Remove(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byID[id]; !ok {
+		return false
+	}
+	delete(c.byID, id)
+	for i, oid := range c.order {
+		if oid == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// RemoveByPeer deletes all adverts owned by a peer and returns how many
+// were removed (used when a peer detaches).
+func (c *AdvertCache) RemoveByPeer(peer PeerID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	kept := c.order[:0]
+	for _, id := range c.order {
+		if adv := c.byID[id]; adv != nil && adv.Peer == peer {
+			delete(c.byID, id)
+			n++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	c.order = kept
+	return n
+}
+
+// Match returns every cached advert satisfying the query.
+func (c *AdvertCache) Match(q Query) []*ServiceAdvertisement {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*ServiceAdvertisement
+	for _, id := range c.order {
+		if adv := c.byID[id]; adv != nil && q.Matches(adv) {
+			out = append(out, adv)
+		}
+	}
+	return out
+}
+
+// Len reports the number of cached adverts.
+func (c *AdvertCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.byID)
+}

@@ -1,0 +1,102 @@
+package p2ps
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// LocalNetwork is a real-time, in-process transport: endpoints deliver
+// datagrams to each other through goroutines with no simulated latency.
+// It backs the single-process examples and the latency-free benchmark
+// baselines; use internal/netsim when virtual time or loss models are
+// needed.
+type LocalNetwork struct {
+	mu    sync.RWMutex
+	nodes map[string]*LocalEndpoint
+	next  atomic.Int64
+}
+
+// NewLocalNetwork returns an empty local network.
+func NewLocalNetwork() *LocalNetwork {
+	return &LocalNetwork{nodes: make(map[string]*LocalEndpoint)}
+}
+
+// NewEndpoint attaches a new endpoint to the network.
+func (n *LocalNetwork) NewEndpoint() *LocalEndpoint {
+	name := fmt.Sprintf("local://%d", n.next.Add(1))
+	ep := &LocalEndpoint{net: n, addr: name}
+	n.mu.Lock()
+	n.nodes[name] = ep
+	n.mu.Unlock()
+	return ep
+}
+
+// LocalEndpoint is one attachment point on a LocalNetwork.
+type LocalEndpoint struct {
+	net  *LocalNetwork
+	addr string
+
+	mu     sync.Mutex
+	recv   func(from string, data []byte)
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Addr implements Transport.
+func (ep *LocalEndpoint) Addr() string { return ep.addr }
+
+// SetReceiver implements Transport.
+func (ep *LocalEndpoint) SetReceiver(fn func(from string, data []byte)) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.recv = fn
+}
+
+// Close implements Transport.
+func (ep *LocalEndpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	ep.mu.Unlock()
+	ep.net.mu.Lock()
+	delete(ep.net.nodes, ep.addr)
+	ep.net.mu.Unlock()
+	ep.wg.Wait()
+	return nil
+}
+
+// Send implements Transport: datagram semantics, delivered asynchronously.
+func (ep *LocalEndpoint) Send(to string, data []byte) error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return fmt.Errorf("p2ps: send on closed endpoint")
+	}
+	ep.wg.Add(1)
+	ep.mu.Unlock()
+
+	ep.net.mu.RLock()
+	dst := ep.net.nodes[to]
+	ep.net.mu.RUnlock()
+	if dst == nil {
+		ep.wg.Done()
+		return nil // unreachable: datagram drop
+	}
+	payload := append([]byte(nil), data...)
+	from := ep.addr
+	go func() {
+		defer ep.wg.Done()
+		dst.mu.Lock()
+		recv := dst.recv
+		closed := dst.closed
+		dst.mu.Unlock()
+		if recv != nil && !closed {
+			recv(from, payload)
+		}
+	}()
+	return nil
+}

@@ -1,0 +1,77 @@
+package p2ps
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLocalNetworkEndToEnd(t *testing.T) {
+	net := NewLocalNetwork()
+	mk := func(rendezvous bool, seeds ...string) *Peer {
+		t.Helper()
+		p, err := NewPeer(Config{Transport: net.NewEndpoint(), Rendezvous: rendezvous, Seeds: seeds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		return p
+	}
+	rdv := mk(true)
+	provider := mk(false, rdv.Addr())
+	consumer := mk(false, rdv.Addr())
+
+	in, err := provider.CreateInputPipe("req")
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := make(chan []byte, 1)
+	in.AddListener(func(_ PeerID, data []byte) { delivered <- data })
+	if _, err := provider.PublishService(&ServiceAdvertisement{
+		Name:  "LocalEcho",
+		Pipes: []PipeAdvertisement{*in.Advertisement()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var adv *ServiceAdvertisement
+	for attempt := 0; attempt < 50 && adv == nil; attempt++ {
+		adv = consumer.DiscoverOne(Query{Name: "LocalEcho"}, 50*time.Millisecond)
+	}
+	if adv == nil {
+		t.Fatal("local discovery failed")
+	}
+	out, err := consumer.OpenOutputPipe(adv.Pipe("req"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case data := <-delivered:
+		if string(data) != "ping" {
+			t.Fatalf("data = %q", data)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipe data never arrived")
+	}
+}
+
+func TestLocalEndpointClosed(t *testing.T) {
+	net := NewLocalNetwork()
+	ep := net.NewEndpoint()
+	other := net.NewEndpoint()
+	if err := ep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Close(); err != nil {
+		t.Fatal("double close should be nil")
+	}
+	if err := ep.Send(other.Addr(), []byte("x")); err == nil {
+		t.Fatal("send on closed endpoint accepted")
+	}
+	// Sending to a closed endpoint is a silent drop.
+	if err := other.Send(ep.Addr(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+package p2ps
+
+import (
+	"encoding/base64"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"wspeer/internal/query"
+	"wspeer/internal/xmlutil"
+)
+
+// Wire message types.
+const (
+	msgAttach          = "attach"
+	msgAttachResponse  = "attachResponse"
+	msgPublish         = "publish"
+	msgUnpublish       = "unpublish"
+	msgQuery           = "query"
+	msgQueryResponse   = "queryResponse"
+	msgResolve         = "resolve"
+	msgResolveResponse = "resolveResponse"
+	msgData            = "data"
+)
+
+// message is the P2PS wire unit. Everything peers exchange — adverts,
+// queries, resolutions and pipe data — travels as one of these, serialized
+// as XML.
+type message struct {
+	Type  string
+	From  PeerID
+	Addr  string // sender's transport address
+	Group string
+	TTL   int
+	Hops  int
+
+	QueryID      string
+	Name         string // query pattern / unpublish advert ID / misc
+	Expr         string // rich query expression (package query)
+	Attrs        map[string]string
+	PeerAdv      *PeerAdvertisement
+	ServiceAdv   *ServiceAdvertisement
+	PipeID       string
+	Data         []byte
+	RdvAddrs     []string // rendezvous gossip
+	TargetPeer   PeerID
+	ResolvedAddr string
+}
+
+var messageName = xmlutil.N(Namespace, "Message")
+
+func (m *message) encode() []byte {
+	el := xmlutil.NewElement(messageName)
+	el.SetAttr(xmlutil.N("", "type"), m.Type)
+	el.SetAttr(xmlutil.N("", "from"), string(m.From))
+	el.SetAttr(xmlutil.N("", "addr"), m.Addr)
+	if m.Group != "" {
+		el.SetAttr(xmlutil.N("", "group"), m.Group)
+	}
+	if m.TTL != 0 {
+		el.SetAttr(xmlutil.N("", "ttl"), strconv.Itoa(m.TTL))
+	}
+	if m.Hops != 0 {
+		el.SetAttr(xmlutil.N("", "hops"), strconv.Itoa(m.Hops))
+	}
+	if m.QueryID != "" {
+		el.SetAttr(xmlutil.N("", "queryId"), m.QueryID)
+	}
+	if m.Name != "" {
+		el.NewChild(xmlutil.N(Namespace, "Name")).SetText(m.Name)
+	}
+	if m.Expr != "" {
+		el.NewChild(xmlutil.N(Namespace, "Expr")).SetText(m.Expr)
+	}
+	if len(m.Attrs) > 0 {
+		attrs := el.NewChild(xmlutil.N(Namespace, "QueryAttributes"))
+		keys := make([]string, 0, len(m.Attrs))
+		for k := range m.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			a := attrs.NewChild(xmlutil.N(Namespace, "Attribute"))
+			a.SetAttr(xmlutil.N("", "name"), k)
+			a.SetText(m.Attrs[k])
+		}
+	}
+	if m.PeerAdv != nil {
+		el.AddChild(m.PeerAdv.Element())
+	}
+	if m.ServiceAdv != nil {
+		el.AddChild(m.ServiceAdv.Element())
+	}
+	if m.PipeID != "" {
+		el.NewChild(xmlutil.N(Namespace, "Pipe")).SetText(m.PipeID)
+	}
+	if m.Data != nil {
+		el.NewChild(xmlutil.N(Namespace, "Data")).SetText(base64.StdEncoding.EncodeToString(m.Data))
+	}
+	for _, addr := range m.RdvAddrs {
+		el.NewChild(xmlutil.N(Namespace, "RendezvousAddr")).SetText(addr)
+	}
+	if m.TargetPeer != "" {
+		el.NewChild(xmlutil.N(Namespace, "TargetPeer")).SetText(string(m.TargetPeer))
+	}
+	if m.ResolvedAddr != "" {
+		el.NewChild(xmlutil.N(Namespace, "ResolvedAddr")).SetText(m.ResolvedAddr)
+	}
+	return xmlutil.Marshal(el)
+}
+
+func decodeMessage(data []byte) (*message, error) {
+	el, err := xmlutil.ParseBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("p2ps: message: %w", err)
+	}
+	if el.Name != messageName {
+		return nil, fmt.Errorf("p2ps: unexpected document element %v", el.Name)
+	}
+	m := &message{}
+	m.Type, _ = el.Attr(xmlutil.N("", "type"))
+	if m.Type == "" {
+		return nil, fmt.Errorf("p2ps: message without type")
+	}
+	from, _ := el.Attr(xmlutil.N("", "from"))
+	m.From = PeerID(from)
+	m.Addr, _ = el.Attr(xmlutil.N("", "addr"))
+	m.Group, _ = el.Attr(xmlutil.N("", "group"))
+	if v, ok := el.Attr(xmlutil.N("", "ttl")); ok {
+		if m.TTL, err = strconv.Atoi(v); err != nil {
+			return nil, fmt.Errorf("p2ps: bad ttl %q", v)
+		}
+	}
+	if v, ok := el.Attr(xmlutil.N("", "hops")); ok {
+		if m.Hops, err = strconv.Atoi(v); err != nil {
+			return nil, fmt.Errorf("p2ps: bad hops %q", v)
+		}
+	}
+	m.QueryID, _ = el.Attr(xmlutil.N("", "queryId"))
+	if c := el.Child(xmlutil.N(Namespace, "Name")); c != nil {
+		m.Name = c.TrimmedText()
+	}
+	if c := el.Child(xmlutil.N(Namespace, "Expr")); c != nil {
+		m.Expr = c.TrimmedText()
+	}
+	if attrs := el.Child(xmlutil.N(Namespace, "QueryAttributes")); attrs != nil {
+		m.Attrs = make(map[string]string)
+		for _, a := range attrs.Children(xmlutil.N(Namespace, "Attribute")) {
+			name, _ := a.Attr(xmlutil.N("", "name"))
+			if name != "" {
+				m.Attrs[name] = a.TrimmedText()
+			}
+		}
+	}
+	if pel := el.Child(peerAdvName); pel != nil {
+		if m.PeerAdv, err = PeerAdvertisementFromElement(pel); err != nil {
+			return nil, err
+		}
+	}
+	if sel := el.Child(serviceAdvName); sel != nil {
+		if m.ServiceAdv, err = ServiceAdvertisementFromElement(sel); err != nil {
+			return nil, err
+		}
+	}
+	if c := el.Child(xmlutil.N(Namespace, "Pipe")); c != nil {
+		m.PipeID = c.TrimmedText()
+	}
+	if c := el.Child(xmlutil.N(Namespace, "Data")); c != nil {
+		m.Data, err = base64.StdEncoding.DecodeString(strings.TrimSpace(c.Text()))
+		if err != nil {
+			return nil, fmt.Errorf("p2ps: bad data payload: %w", err)
+		}
+	}
+	for _, c := range el.Children(xmlutil.N(Namespace, "RendezvousAddr")) {
+		m.RdvAddrs = append(m.RdvAddrs, c.TrimmedText())
+	}
+	if c := el.Child(xmlutil.N(Namespace, "TargetPeer")); c != nil {
+		m.TargetPeer = PeerID(c.TrimmedText())
+	}
+	if c := el.Child(xmlutil.N(Namespace, "ResolvedAddr")); c != nil {
+		m.ResolvedAddr = c.TrimmedText()
+	}
+	return m, nil
+}
+
+// Query selects service advertisements by name pattern and attributes:
+// the attribute-based search the paper contrasts with DHT key lookup. An
+// optional Expr adds the rich predicate language (package query) — the
+// paper's "more complex queries" extension point — evaluated in-network
+// by every peer the query reaches.
+type Query struct {
+	// Name matches the advertised service name. "*" (or empty) matches
+	// any name; a trailing "*" matches a prefix; otherwise exact.
+	Name string
+	// Attrs must all be present with equal values in the advert.
+	Attrs map[string]string
+	// Group restricts matching to adverts published in that group
+	// ("" matches any group).
+	Group string
+	// Expr is a rich predicate in the package query language, combined
+	// (AND) with the other constraints. A malformed expression matches
+	// nothing.
+	Expr string
+
+	compiled *query.Expr
+}
+
+// Prepare compiles the query's expression (if any); it is called once per
+// received query so Matches doesn't re-parse per advert.
+func (q *Query) Prepare() error {
+	if q.Expr == "" || q.compiled != nil {
+		return nil
+	}
+	e, err := query.Compile(q.Expr)
+	if err != nil {
+		return err
+	}
+	q.compiled = e
+	return nil
+}
+
+// Matches reports whether an advert satisfies the query.
+func (q Query) Matches(adv *ServiceAdvertisement) bool {
+	if q.Group != "" && adv.Group != "" && q.Group != adv.Group {
+		return false
+	}
+	switch {
+	case q.Name == "" || q.Name == "*":
+		// any
+	case strings.HasSuffix(q.Name, "*"):
+		if !strings.HasPrefix(adv.Name, strings.TrimSuffix(q.Name, "*")) {
+			return false
+		}
+	default:
+		if adv.Name != q.Name {
+			return false
+		}
+	}
+	for k, v := range q.Attrs {
+		if adv.Attrs[k] != v {
+			return false
+		}
+	}
+	if q.Expr != "" {
+		e := q.compiled
+		if e == nil {
+			var err error
+			if e, err = query.Compile(q.Expr); err != nil {
+				return false // fail closed on malformed expressions
+			}
+		}
+		return e.Matches(&query.Subject{
+			Name:  adv.Name,
+			Group: adv.Group,
+			Peer:  string(adv.Peer),
+			Attrs: adv.Attrs,
+		})
+	}
+	return true
+}

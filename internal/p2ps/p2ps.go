@@ -1,0 +1,94 @@
+// Package p2ps implements Peer-to-Peer Simplified (P2PS), the P2P framework
+// WSPeer's second binding runs over (paper §IV-B, citing Wang 2004). It
+// provides everything that section depends on:
+//
+//   - peers identified by logical IDs rather than physical addresses;
+//   - XML advertisements describing peers, pipes and services;
+//   - unidirectional pipes with listener-based delivery;
+//   - endpoint resolvers that turn logical pipe endpoints into transport
+//     addresses;
+//   - group-scoped broadcast discovery with advert caches; and
+//   - rendezvous peers that cache advertisements and propagate queries to
+//     other rendezvous peers, disseminating them across groups.
+//
+// The protocol logic is transport-agnostic and time-agnostic: it speaks
+// through the Transport interface and schedules timeouts through the Clock
+// interface, so the same peer code runs over TCP in real deployments and
+// over the internal/netsim discrete-event simulator in the large-network
+// experiments.
+package p2ps
+
+import (
+	"crypto/rand"
+	"fmt"
+	"time"
+)
+
+// Namespace is the XML namespace of P2PS adverts and wire messages.
+const Namespace = "http://wspeer.dev/p2ps"
+
+// PeerID is a peer's logical identity.
+type PeerID string
+
+// NewPeerID generates a random 128-bit peer ID.
+func NewPeerID() PeerID {
+	return PeerID("peer-" + randomHex(16))
+}
+
+// NewPipeID generates a random pipe ID.
+func NewPipeID() string {
+	return "pipe-" + randomHex(12)
+}
+
+// NewAdvertID generates a random advertisement ID.
+func NewAdvertID() string {
+	return "adv-" + randomHex(12)
+}
+
+func randomHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		panic("p2ps: entropy source failed: " + err.Error())
+	}
+	return fmt.Sprintf("%x", b)
+}
+
+// Transport is the wire a peer is attached to. netsim endpoints and the TCP
+// transport in this package both satisfy it.
+type Transport interface {
+	// Addr is this endpoint's transport address.
+	Addr() string
+	// Send transmits data to another transport address. Datagram
+	// semantics: delivery is not guaranteed and no error is returned for
+	// lost messages.
+	Send(to string, data []byte) error
+	// SetReceiver installs the delivery callback.
+	SetReceiver(fn func(from string, data []byte))
+	// Close detaches the endpoint.
+	Close() error
+}
+
+// Clock schedules timeouts. netsim.Simulator provides a virtual-time
+// implementation; RealClock wraps the runtime timer.
+type Clock interface {
+	// AfterFunc runs fn after d; the returned function cancels it.
+	AfterFunc(d time.Duration, fn func()) (cancel func())
+}
+
+type realClock struct{}
+
+// AfterFunc implements Clock using real timers.
+func (realClock) AfterFunc(d time.Duration, fn func()) func() {
+	t := time.AfterFunc(d, fn)
+	return func() { t.Stop() }
+}
+
+// RealClock is the wall-clock Clock for live deployments.
+var RealClock Clock = realClock{}
+
+// EndpointResolver resolves a peer's logical ID to a transport address.
+// The paper: "P2PS uses an EndpointResolver interface to represent a
+// service that is capable of resolving certain endpoints."
+type EndpointResolver interface {
+	ResolveEndpoint(peer PeerID) (addr string, ok bool)
+}

@@ -1,0 +1,185 @@
+package p2ps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxFrame bounds a single P2PS datagram over TCP.
+const maxFrame = 16 << 20
+
+// TCPTransport carries P2PS datagrams over TCP with length-prefixed frames.
+// Connections are opened on demand per destination and reused; incoming
+// connections are read until EOF. It satisfies the Transport interface for
+// real (non-simulated) deployments, addressed as "tcp://host:port".
+type TCPTransport struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	recv     func(from string, data []byte)
+	conns    map[string]net.Conn // outbound, keyed by destination
+	accepted map[net.Conn]bool   // inbound
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewTCPTransport listens on addr ("127.0.0.1:0" for an ephemeral port).
+func NewTCPTransport(addr string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("p2ps: tcp listen: %w", err)
+	}
+	t := &TCPTransport{ln: ln, conns: make(map[string]net.Conn), accepted: make(map[net.Conn]bool)}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport address ("tcp://host:port").
+func (t *TCPTransport) Addr() string { return "tcp://" + t.ln.Addr().String() }
+
+// SetReceiver implements Transport.
+func (t *TCPTransport) SetReceiver(fn func(from string, data []byte)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recv = fn
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[string]net.Conn{}
+	inbound := t.accepted
+	t.accepted = map[net.Conn]bool{}
+	t.mu.Unlock()
+	err := t.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	for c := range inbound {
+		c.Close()
+	}
+	t.wg.Wait()
+	return err
+}
+
+// Send implements Transport: datagram semantics over a cached stream.
+func (t *TCPTransport) Send(to string, data []byte) error {
+	if len(to) > 6 && to[:6] == "tcp://" {
+		to = to[6:]
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("p2ps: send on closed transport")
+	}
+	conn, ok := t.conns[to]
+	t.mu.Unlock()
+	if !ok {
+		var err error
+		conn, err = net.Dial("tcp", to)
+		if err != nil {
+			return nil // unreachable destination: datagram drop
+		}
+		t.mu.Lock()
+		if existing, raced := t.conns[to]; raced {
+			conn.Close()
+			conn = existing
+		} else {
+			t.conns[to] = conn
+		}
+		t.mu.Unlock()
+	}
+	if err := writeFrame(conn, data); err != nil {
+		// Connection went bad: forget it. The datagram is lost.
+		t.mu.Lock()
+		if t.conns[to] == conn {
+			delete(t.conns, to)
+		}
+		t.mu.Unlock()
+		conn.Close()
+	}
+	return nil
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
+	from := "tcp://" + conn.RemoteAddr().String()
+	for {
+		data, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		recv := t.recv
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		if recv != nil {
+			recv(from, data)
+		}
+	}
+}
+
+func writeFrame(w io.Writer, data []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("p2ps: frame of %d bytes exceeds limit", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}

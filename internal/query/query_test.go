@@ -1,0 +1,160 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func subject() *Subject {
+	return &Subject{
+		Name:  "EchoService",
+		Group: "grid",
+		Peer:  "peer-1",
+		Attrs: map[string]string{
+			"kind":    "echo",
+			"version": "2",
+			"price":   "0.35",
+		},
+	}
+}
+
+func TestExpressions(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`name = 'EchoService'`, true},
+		{`name = 'Other'`, false},
+		{`name != 'Other'`, true},
+		{`name like 'Echo*'`, true},
+		{`name like '*Service'`, true},
+		{`name like '*cho*'`, true},
+		{`name like 'Z*'`, false},
+		{`name contains 'hoSer'`, true},
+		{`name contains 'xyz'`, false},
+		{`group = 'grid'`, true},
+		{`peer = 'peer-1'`, true},
+		{`attr(kind) = 'echo'`, true},
+		{`attr(kind) = 'file'`, false},
+		{`attr(kind) != 'file'`, true},
+		{`attr(missing) = 'x'`, false},
+		{`attr(missing) != 'x'`, true}, // absent attr is not-equal
+		{`attr(kind) exists`, true},
+		{`attr(missing) exists`, false},
+		{`attr(price) < 0.5`, true},
+		{`attr(price) > 0.5`, false},
+		{`attr(price) >= 0.35`, true},
+		{`attr(price) <= 0.35`, true},
+		{`attr(version) > 1`, true},
+		{`attr(kind) > 1`, false}, // non-numeric comparison fails closed
+		{`name = 'EchoService' and attr(kind) = 'echo'`, true},
+		{`name = 'EchoService' and attr(kind) = 'file'`, false},
+		{`name = 'Other' or attr(kind) = 'echo'`, true},
+		{`not name = 'Other'`, true},
+		{`not (name = 'EchoService' or group = 'grid')`, false},
+		{`name like 'Echo*' and (attr(price) < 0.5 or attr(version) = '9')`, true},
+		{`NAME = 'EchoService' AND attr(kind) = 'echo'`, true}, // case-insensitive keywords
+		{`attr("kind") = "echo"`, true},                        // double quotes
+	}
+	for _, c := range cases {
+		e, err := Compile(c.src)
+		if err != nil {
+			t.Errorf("Compile(%q): %v", c.src, err)
+			continue
+		}
+		if got := e.Matches(subject()); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+		if e.Source() != c.src {
+			t.Errorf("Source() = %q", e.Source())
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// and binds tighter than or: a or b and c == a or (b and c).
+	e := MustCompile(`name = 'Other' or group = 'grid' and attr(kind) = 'echo'`)
+	if !e.Matches(subject()) {
+		t.Fatal("precedence: want (grid and echo) to satisfy")
+	}
+	e = MustCompile(`name = 'EchoService' or group = 'x' and attr(kind) = 'y'`)
+	if !e.Matches(subject()) {
+		t.Fatal("precedence: left or-arm should satisfy alone")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`name`,
+		`name =`,
+		`= 'x'`,
+		`bogusfield = 'x'`,
+		`attr = 'x'`,
+		`attr( = 'x'`,
+		`attr(k = 'x'`,
+		`name = 'unterminated`,
+		`(name = 'x'`,
+		`name = 'x' extra`,
+		`name ~ 'x'`,
+		`name = 'x' and`,
+		`not`,
+		`name @@ 'x'`,
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q): expected error", src)
+		}
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustCompile(`=`)
+}
+
+func TestNilAttrs(t *testing.T) {
+	s := &Subject{Name: "X"}
+	if MustCompile(`attr(a) exists`).Matches(s) {
+		t.Fatal("exists on nil attrs")
+	}
+	if !MustCompile(`attr(a) != 'v'`).Matches(s) {
+		t.Fatal("!= on nil attrs")
+	}
+	if !MustCompile(`name = 'X'`).Matches(s) {
+		t.Fatal("name on nil attrs")
+	}
+}
+
+func TestQuickWildcardConsistency(t *testing.T) {
+	// Property: `name like '*frag*'` agrees with strings.Contains.
+	f := func(frag, name string) bool {
+		if strings.ContainsAny(frag, "*'\"\\") || strings.ContainsAny(name, "'\"\\") {
+			return true
+		}
+		e, err := Compile(`name like '*` + frag + `*'`)
+		if err != nil {
+			return true // frag produced an unparsable literal; fine
+		}
+		return e.Matches(&Subject{Name: name}) == strings.Contains(name, frag)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNeverPanics(t *testing.T) {
+	// Property: arbitrary input never panics the compiler.
+	f := func(src string) bool {
+		_, _ = Compile(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,324 @@
+// Package soap implements the SOAP 1.1 envelope model used for every
+// message exchanged by WSPeer: envelope construction and parsing, header
+// blocks with mustUnderstand/actor semantics, and faults that round-trip as
+// Go errors.
+package soap
+
+import (
+	"fmt"
+
+	"wspeer/internal/xmlutil"
+)
+
+// Namespace is the SOAP 1.1 envelope namespace.
+const Namespace = "http://schemas.xmlsoap.org/soap/envelope/"
+
+// ContentType is the media type of SOAP 1.1 messages over HTTP.
+const ContentType = "text/xml; charset=utf-8"
+
+// ActorNext is the well-known actor URI addressing the first node that
+// processes the message.
+const ActorNext = "http://schemas.xmlsoap.org/soap/actor/next"
+
+// Standard SOAP 1.1 fault codes.
+var (
+	FaultVersionMismatch = xmlutil.N(Namespace, "VersionMismatch")
+	FaultMustUnderstand  = xmlutil.N(Namespace, "MustUnderstand")
+	FaultClient          = xmlutil.N(Namespace, "Client")
+	FaultServer          = xmlutil.N(Namespace, "Server")
+)
+
+// Envelope is a SOAP message: an ordered list of header blocks and either a
+// list of body elements or a fault. Envelopes carry their SOAP version
+// (1.1 by default); responses should be built with the request's version.
+type Envelope struct {
+	version Version
+	headers []*xmlutil.Element
+	body    []*xmlutil.Element
+	fault   *Fault
+}
+
+// NewEnvelope returns an empty SOAP 1.1 envelope.
+func NewEnvelope() *Envelope { return &Envelope{} }
+
+// NewEnvelopeV returns an empty envelope of the given version.
+func NewEnvelopeV(v Version) *Envelope { return &Envelope{version: v} }
+
+// Version returns the envelope's SOAP version.
+func (e *Envelope) Version() Version { return e.version }
+
+// AddHeader appends a header block.
+func (e *Envelope) AddHeader(block *xmlutil.Element) *Envelope {
+	e.headers = append(e.headers, block)
+	return e
+}
+
+// Headers returns the header blocks in order.
+func (e *Envelope) Headers() []*xmlutil.Element { return e.headers }
+
+// Header returns the first header block with the given name, or nil.
+func (e *Envelope) Header(name xmlutil.Name) *xmlutil.Element {
+	for _, h := range e.headers {
+		if h.Name == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// AddBodyElement appends a body child. It panics if the envelope already
+// carries a fault, which is a programming error.
+func (e *Envelope) AddBodyElement(el *xmlutil.Element) *Envelope {
+	if e.fault != nil {
+		panic("soap: cannot add body elements to a fault envelope")
+	}
+	e.body = append(e.body, el)
+	return e
+}
+
+// Body returns the body elements in order (nil for fault envelopes).
+func (e *Envelope) Body() []*xmlutil.Element { return e.body }
+
+// FirstBodyElement returns the first body element, or nil.
+func (e *Envelope) FirstBodyElement() *xmlutil.Element {
+	if len(e.body) == 0 {
+		return nil
+	}
+	return e.body[0]
+}
+
+// SetFault makes the envelope a fault message, discarding body elements.
+func (e *Envelope) SetFault(f *Fault) *Envelope {
+	e.fault = f
+	e.body = nil
+	return e
+}
+
+// Fault returns the envelope's fault, or nil.
+func (e *Envelope) Fault() *Fault { return e.fault }
+
+// IsFault reports whether the envelope carries a fault.
+func (e *Envelope) IsFault() bool { return e.fault != nil }
+
+// SetMustUnderstand marks a header block with soapenv:mustUnderstand="1".
+// The attribute is written in the 1.1 namespace and normalized to the
+// envelope's version at render time.
+func SetMustUnderstand(block *xmlutil.Element) {
+	block.SetAttr(xmlutil.N(Namespace, "mustUnderstand"), "1")
+}
+
+// MustUnderstand reports whether a header block requires understanding,
+// in either SOAP version's vocabulary.
+func MustUnderstand(block *xmlutil.Element) bool {
+	if v, ok := block.Attr(xmlutil.N(Namespace, "mustUnderstand")); ok {
+		return v == "1" || v == "true"
+	}
+	v, ok := block.Attr(xmlutil.N(Namespace12, "mustUnderstand"))
+	return ok && (v == "1" || v == "true")
+}
+
+// SetActor targets a header block at a specific actor URI.
+func SetActor(block *xmlutil.Element, actor string) {
+	block.SetAttr(xmlutil.N(Namespace, "actor"), actor)
+}
+
+// Actor returns a header block's actor URI ("" when absent).
+func Actor(block *xmlutil.Element) string {
+	v, _ := block.Attr(xmlutil.N(Namespace, "actor"))
+	return v
+}
+
+// Element renders the envelope as an element tree in its version's
+// namespace. Header attributes expressed in the other version's vocabulary
+// (mustUnderstand, actor/role) are normalized.
+func (e *Envelope) Element() *xmlutil.Element {
+	ns := e.version.Namespace()
+	root := xmlutil.NewElement(xmlutil.N(ns, "Envelope"))
+	root.DeclarePrefix("soapenv", ns)
+	if len(e.headers) > 0 {
+		hdr := root.NewChild(xmlutil.N(ns, "Header"))
+		for _, h := range e.headers {
+			hc := h.Clone()
+			normalizeHeaderAttrs(hc, e.version)
+			hdr.AddChild(hc)
+		}
+	}
+	body := root.NewChild(xmlutil.N(ns, "Body"))
+	if e.fault != nil {
+		if e.version == SOAP12 {
+			body.AddChild(e.fault.element12())
+		} else {
+			body.AddChild(e.fault.element())
+		}
+	} else {
+		for _, b := range e.body {
+			body.AddChild(b.Clone())
+		}
+	}
+	return root
+}
+
+// normalizeHeaderAttrs rewrites version-scoped header attributes into the
+// target version's vocabulary.
+func normalizeHeaderAttrs(block *xmlutil.Element, v Version) {
+	from, to := Namespace12, Namespace
+	actorFrom, actorTo := "role", "actor"
+	if v == SOAP12 {
+		from, to = Namespace, Namespace12
+		actorFrom, actorTo = "actor", "role"
+	}
+	if val, ok := block.Attr(xmlutil.N(from, "mustUnderstand")); ok {
+		block.Attrs = removeAttr(block.Attrs, xmlutil.N(from, "mustUnderstand"))
+		block.SetAttr(xmlutil.N(to, "mustUnderstand"), val)
+	}
+	if val, ok := block.Attr(xmlutil.N(from, actorFrom)); ok {
+		block.Attrs = removeAttr(block.Attrs, xmlutil.N(from, actorFrom))
+		block.SetAttr(xmlutil.N(to, actorTo), val)
+	}
+}
+
+func removeAttr(attrs []xmlutil.Attr, name xmlutil.Name) []xmlutil.Attr {
+	out := attrs[:0]
+	for _, a := range attrs {
+		if a.Name != name {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Marshal serializes the envelope to bytes.
+func (e *Envelope) Marshal() []byte { return xmlutil.Marshal(e.Element()) }
+
+// Parse reads a SOAP 1.1 envelope from bytes.
+func Parse(data []byte) (*Envelope, error) {
+	root, err := xmlutil.ParseBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("soap: %w", err)
+	}
+	return FromElement(root)
+}
+
+// FromElement interprets an already-parsed element tree as an envelope of
+// either SOAP version.
+func FromElement(root *xmlutil.Element) (*Envelope, error) {
+	var version Version
+	switch root.Name {
+	case xmlutil.N(Namespace, "Envelope"):
+		version = SOAP11
+	case xmlutil.N(Namespace12, "Envelope"):
+		version = SOAP12
+	default:
+		if root.Name.Local == "Envelope" {
+			return nil, &VersionMismatchError{Got: root.Name.Space}
+		}
+		return nil, fmt.Errorf("soap: document element is %v, not Envelope", root.Name)
+	}
+	ns := version.Namespace()
+	env := NewEnvelopeV(version)
+	if hdr := root.Child(xmlutil.N(ns, "Header")); hdr != nil {
+		env.headers = append(env.headers, hdr.Elements()...)
+	}
+	body := root.Child(xmlutil.N(ns, "Body"))
+	if body == nil {
+		return nil, fmt.Errorf("soap: envelope has no Body")
+	}
+	if f := body.Child(xmlutil.N(ns, "Fault")); f != nil {
+		var fault *Fault
+		var err error
+		if version == SOAP12 {
+			fault, err = faultFromElement12(f)
+		} else {
+			fault, err = faultFromElement(f)
+		}
+		if err != nil {
+			return nil, err
+		}
+		env.fault = fault
+		return env, nil
+	}
+	env.body = body.Elements()
+	return env, nil
+}
+
+// VersionMismatchError reports an envelope in an unsupported SOAP version's
+// namespace.
+type VersionMismatchError struct{ Got string }
+
+// Error implements the error interface.
+func (e *VersionMismatchError) Error() string {
+	return fmt.Sprintf("soap: unsupported envelope namespace %q (SOAP 1.1 and 1.2 are supported)", e.Got)
+}
+
+// ---------------------------------------------------------------------------
+// Faults
+
+// Fault is a SOAP 1.1 fault. It implements error so engine and application
+// code can return it directly.
+type Fault struct {
+	Code   xmlutil.Name // e.g. FaultServer
+	String string       // human-readable explanation
+	Actor  string       // optional URI of the faulting node
+	Detail *xmlutil.Element
+}
+
+// NewFault constructs a fault with the given code and message.
+func NewFault(code xmlutil.Name, format string, args ...interface{}) *Fault {
+	return &Fault{Code: code, String: fmt.Sprintf(format, args...)}
+}
+
+// ServerFault wraps an application error as a Server fault.
+func ServerFault(err error) *Fault {
+	if f, ok := err.(*Fault); ok {
+		return f
+	}
+	return NewFault(FaultServer, "%s", err.Error())
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("soap fault [%s]: %s", f.Code.Local, f.String)
+}
+
+// IsClient reports whether the fault blames the sender.
+func (f *Fault) IsClient() bool { return f.Code == FaultClient }
+
+func (f *Fault) element() *xmlutil.Element {
+	el := xmlutil.NewElement(xmlutil.N(Namespace, "Fault"))
+	// Per SOAP 1.1 the fault sub-elements are unqualified; faultcode holds
+	// a QName value.
+	code := el.NewChild(xmlutil.N("", "faultcode"))
+	code.SetText(xmlutil.QNameValue(el, f.Code))
+	el.NewChild(xmlutil.N("", "faultstring")).SetText(f.String)
+	if f.Actor != "" {
+		el.NewChild(xmlutil.N("", "faultactor")).SetText(f.Actor)
+	}
+	if f.Detail != nil {
+		el.NewChild(xmlutil.N("", "detail")).AddChild(f.Detail.Clone())
+	}
+	return el
+}
+
+func faultFromElement(el *xmlutil.Element) (*Fault, error) {
+	f := &Fault{}
+	if c := el.ChildLocal("faultcode"); c != nil {
+		qn, err := c.ResolveQName(c.TrimmedText())
+		if err != nil {
+			// Tolerate unresolvable prefixes from sloppy peers: keep local.
+			qn = xmlutil.N("", c.TrimmedText())
+		}
+		f.Code = qn
+	}
+	if s := el.ChildLocal("faultstring"); s != nil {
+		f.String = s.TrimmedText()
+	}
+	if a := el.ChildLocal("faultactor"); a != nil {
+		f.Actor = a.TrimmedText()
+	}
+	if d := el.ChildLocal("detail"); d != nil {
+		if kids := d.Elements(); len(kids) > 0 {
+			f.Detail = kids[0]
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// InMemNetwork is a process-local transport: endpoints of the form
+// mem://<host>/<path> are served by handlers registered on the network.
+// It backs unit tests, the single-process examples and the latency-free
+// baseline in the benchmarks.
+type InMemNetwork struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler // key: endpoint without scheme
+
+	calls atomic.Int64
+}
+
+// NewInMemNetwork returns an empty in-memory network.
+func NewInMemNetwork() *InMemNetwork {
+	return &InMemNetwork{handlers: make(map[string]Handler)}
+}
+
+// Register binds a handler to an endpoint ("mem://host/path" or
+// "host/path"). It replaces any previous handler at that endpoint.
+func (n *InMemNetwork) Register(endpoint string, h Handler) {
+	key := strings.TrimPrefix(endpoint, "mem://")
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[key] = h
+}
+
+// Unregister removes the handler for the endpoint.
+func (n *InMemNetwork) Unregister(endpoint string) {
+	key := strings.TrimPrefix(endpoint, "mem://")
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.handlers, key)
+}
+
+// Calls reports how many requests the network has carried.
+func (n *InMemNetwork) Calls() int64 { return n.calls.Load() }
+
+// Transport returns the client side of the network.
+func (n *InMemNetwork) Transport() Transport { return (*inMemTransport)(n) }
+
+type inMemTransport InMemNetwork
+
+// Scheme implements Transport.
+func (t *inMemTransport) Scheme() string { return "mem" }
+
+// Call implements Transport.
+func (t *inMemTransport) Call(ctx context.Context, req *Request) (*Response, error) {
+	n := (*InMemNetwork)(t)
+	key := strings.TrimPrefix(req.Endpoint, "mem://")
+	n.mu.RLock()
+	h, ok := n.handlers[key]
+	n.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("transport/mem: no handler at %q", req.Endpoint)
+	}
+	n.calls.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Copy the body so handler and caller cannot alias each other's bytes.
+	cp := *req
+	cp.Body = append([]byte(nil), req.Body...)
+	resp, err := h.Serve(ctx, &cp)
+	if err != nil {
+		return nil, err
+	}
+	if resp == nil {
+		return &Response{}, nil
+	}
+	out := *resp
+	out.Body = append([]byte(nil), resp.Body...)
+	return &out, nil
+}

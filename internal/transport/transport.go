@@ -1,0 +1,128 @@
+// Package transport defines WSPeer's pluggable transport layer. The paper
+// treats transports as "incidental to the environment the Web service is
+// deployed into"; this package makes that literal: invocations are routed
+// to a Transport chosen by the endpoint URI's scheme, and new transports
+// can be registered without touching application code.
+//
+// Three transports ship with the system: plain HTTP, HTTPG (an
+// authenticated HTTP profile standing in for Globus's HTTPG), and an
+// in-memory transport for tests and single-process overlays. The P2PS
+// binding supplies its own pipe-based transport in internal/binding.
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Request is a transport-neutral SOAP request.
+type Request struct {
+	// Endpoint is the destination URI; its scheme selects the transport.
+	Endpoint string
+	// Action is the SOAPAction value.
+	Action string
+	// ContentType of Body (defaults to the SOAP 1.1 media type).
+	ContentType string
+	// Body is the serialized SOAP envelope.
+	Body []byte
+}
+
+// Response is a transport-neutral SOAP response. A SOAP fault travels as a
+// normal Response (possibly flagged by Faulted); transport-level failures
+// are returned as Go errors instead.
+type Response struct {
+	ContentType string
+	Body        []byte
+	// Faulted indicates the transport-level signal that the body carries a
+	// fault (HTTP 500 for the HTTP binding). Parsers should still inspect
+	// the body; this flag is advisory.
+	Faulted bool
+}
+
+// Transport moves one request to an endpoint and returns the response.
+// One-way messages get a nil/empty Response.
+type Transport interface {
+	// Scheme is the URI scheme this transport serves ("http", "httpg", ...).
+	Scheme() string
+	// Call performs a request/response exchange.
+	Call(ctx context.Context, req *Request) (*Response, error)
+}
+
+// Handler is the server side of a transport: it consumes a request and
+// produces a response. Implementations are the messaging engine or raw
+// application interceptors.
+type Handler interface {
+	Serve(ctx context.Context, req *Request) (*Response, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx context.Context, req *Request) (*Response, error)
+
+// Serve calls f.
+func (f HandlerFunc) Serve(ctx context.Context, req *Request) (*Response, error) {
+	return f(ctx, req)
+}
+
+// Registry maps URI schemes to transports. The zero value is unusable; use
+// NewRegistry.
+type Registry struct {
+	mu         sync.RWMutex
+	transports map[string]Transport
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{transports: make(map[string]Transport)}
+}
+
+// Register adds (or replaces) a transport under its scheme.
+func (r *Registry) Register(t Transport) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.transports[t.Scheme()] = t
+}
+
+// Lookup returns the transport for a scheme.
+func (r *Registry) Lookup(scheme string) (Transport, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.transports[scheme]
+	return t, ok
+}
+
+// Schemes lists the registered schemes, sorted.
+func (r *Registry) Schemes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.transports))
+	for s := range r.transports {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Call routes the request to the transport selected by the endpoint scheme.
+func (r *Registry) Call(ctx context.Context, req *Request) (*Response, error) {
+	scheme := SchemeOf(req.Endpoint)
+	if scheme == "" {
+		return nil, fmt.Errorf("transport: endpoint %q has no scheme", req.Endpoint)
+	}
+	t, ok := r.Lookup(scheme)
+	if !ok {
+		return nil, fmt.Errorf("transport: no transport registered for scheme %q (have %v)", scheme, r.Schemes())
+	}
+	return t.Call(ctx, req)
+}
+
+// SchemeOf extracts the URI scheme of an endpoint ("" if malformed).
+func SchemeOf(endpoint string) string {
+	i := strings.Index(endpoint, "://")
+	if i <= 0 {
+		return ""
+	}
+	return strings.ToLower(endpoint[:i])
+}

@@ -1,0 +1,260 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wspeer/internal/soap"
+)
+
+func TestSchemeOf(t *testing.T) {
+	cases := map[string]string{
+		"http://x/y":    "http",
+		"HTTPG://x":     "httpg",
+		"mem://a/b":     "mem",
+		"p2ps://id/svc": "p2ps",
+		"no-scheme":     "",
+		"://x":          "",
+		"":              "",
+	}
+	for in, want := range cases {
+		if got := SchemeOf(in); got != want {
+			t.Errorf("SchemeOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRegistryRouting(t *testing.T) {
+	reg := NewRegistry()
+	net := NewInMemNetwork()
+	reg.Register(net.Transport())
+	net.Register("mem://svc/echo", HandlerFunc(func(ctx context.Context, req *Request) (*Response, error) {
+		return &Response{Body: append([]byte("pong:"), req.Body...)}, nil
+	}))
+
+	resp, err := reg.Call(context.Background(), &Request{Endpoint: "mem://svc/echo", Body: []byte("ping")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "pong:ping" {
+		t.Fatalf("body = %q", resp.Body)
+	}
+
+	if _, err := reg.Call(context.Background(), &Request{Endpoint: "gopher://x"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := reg.Call(context.Background(), &Request{Endpoint: "junk"}); err == nil {
+		t.Fatal("schemeless endpoint accepted")
+	}
+	if got := reg.Schemes(); len(got) != 1 || got[0] != "mem" {
+		t.Fatalf("schemes = %v", got)
+	}
+}
+
+func TestInMemUnknownEndpointAndUnregister(t *testing.T) {
+	net := NewInMemNetwork()
+	tr := net.Transport()
+	if _, err := tr.Call(context.Background(), &Request{Endpoint: "mem://nope"}); err == nil {
+		t.Fatal("unknown endpoint accepted")
+	}
+	net.Register("mem://a", HandlerFunc(func(context.Context, *Request) (*Response, error) {
+		return &Response{}, nil
+	}))
+	if _, err := tr.Call(context.Background(), &Request{Endpoint: "mem://a"}); err != nil {
+		t.Fatal(err)
+	}
+	net.Unregister("mem://a")
+	if _, err := tr.Call(context.Background(), &Request{Endpoint: "mem://a"}); err == nil {
+		t.Fatal("unregistered endpoint still served")
+	}
+	if net.Calls() != 1 {
+		t.Fatalf("calls = %d", net.Calls())
+	}
+}
+
+func TestInMemContextCancelled(t *testing.T) {
+	net := NewInMemNetwork()
+	net.Register("mem://a", HandlerFunc(func(context.Context, *Request) (*Response, error) {
+		return &Response{}, nil
+	}))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := net.Transport().Call(ctx, &Request{Endpoint: "mem://a"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInMemBodyIsolation(t *testing.T) {
+	net := NewInMemNetwork()
+	var served []byte
+	net.Register("mem://a", HandlerFunc(func(_ context.Context, req *Request) (*Response, error) {
+		served = req.Body
+		return &Response{Body: []byte("resp")}, nil
+	}))
+	body := []byte("orig")
+	resp, err := net.Transport().Call(context.Background(), &Request{Endpoint: "mem://a", Body: body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body[0] = 'X'
+	if string(served) != "orig" {
+		t.Fatal("handler saw caller's mutation")
+	}
+	resp.Body[0] = 'Y'
+	// If the handler retains its response buffer, the caller's copy must be
+	// unaffected; nothing to assert directly here beyond no panic, but the
+	// copy above guarantees isolation by construction.
+}
+
+func TestInMemConcurrentAccess(t *testing.T) {
+	net := NewInMemNetwork()
+	tr := net.Transport()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			net.Register("mem://a", HandlerFunc(func(context.Context, *Request) (*Response, error) {
+				return &Response{}, nil
+			}))
+		}()
+		go func() {
+			defer wg.Done()
+			_, _ = tr.Call(context.Background(), &Request{Endpoint: "mem://a"})
+		}()
+	}
+	wg.Wait()
+}
+
+func TestHTTPTransport(t *testing.T) {
+	var gotAction, gotCT string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotAction = r.Header.Get(SOAPActionHeader)
+		gotCT = r.Header.Get("Content-Type")
+		body, _ := io.ReadAll(r.Body)
+		w.Header().Set("Content-Type", soap.ContentType)
+		w.Write(append([]byte("ok:"), body...))
+	}))
+	defer srv.Close()
+
+	tr := NewHTTPTransport()
+	resp, err := tr.Call(context.Background(), &Request{
+		Endpoint: srv.URL,
+		Action:   "urn:echo",
+		Body:     []byte("<x/>"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "ok:<x/>" {
+		t.Fatalf("body = %q", resp.Body)
+	}
+	if gotAction != `"urn:echo"` {
+		t.Fatalf("SOAPAction = %q (must be quoted)", gotAction)
+	}
+	if !strings.HasPrefix(gotCT, "text/xml") {
+		t.Fatalf("content type = %q", gotCT)
+	}
+}
+
+func TestHTTPTransportFault500(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`<soapenv:Envelope xmlns:soapenv="` + soap.Namespace + `"><soapenv:Body><soapenv:Fault><faultcode>soapenv:Server</faultcode><faultstring>bad</faultstring></soapenv:Fault></soapenv:Body></soapenv:Envelope>`))
+	}))
+	defer srv.Close()
+	resp, err := NewHTTPTransport().Call(context.Background(), &Request{Endpoint: srv.URL})
+	if err != nil {
+		t.Fatalf("500-with-envelope must surface as a response: %v", err)
+	}
+	if !resp.Faulted {
+		t.Fatal("Faulted flag not set")
+	}
+	env, err := soap.Parse(resp.Body)
+	if err != nil || !env.IsFault() {
+		t.Fatalf("fault body: %v", err)
+	}
+}
+
+func TestHTTPTransportHardErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	defer srv.Close()
+	if _, err := NewHTTPTransport().Call(context.Background(), &Request{Endpoint: srv.URL}); err == nil {
+		t.Fatal("404 accepted")
+	}
+	// Connection refused.
+	if _, err := NewHTTPTransport().Call(context.Background(), &Request{Endpoint: "http://127.0.0.1:1/x"}); err == nil {
+		t.Fatal("refused connection accepted")
+	}
+}
+
+func TestHTTPTransportContextTimeout(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := NewHTTPTransport().Call(ctx, &Request{Endpoint: srv.URL}); err == nil {
+		t.Fatal("timeout not honoured")
+	}
+}
+
+func TestHTTPGAuth(t *testing.T) {
+	secret := []byte("shared-secret")
+	var authOK bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		authOK = VerifyHTTPG(secret, body, r.Header.Get(HTTPGAuthHeader))
+		if !authOK {
+			w.WriteHeader(http.StatusForbidden)
+			return
+		}
+		w.Write([]byte("secure"))
+	}))
+	defer srv.Close()
+
+	endpoint := "httpg://" + strings.TrimPrefix(srv.URL, "http://")
+	tr := NewHTTPGTransport(secret)
+	if tr.Scheme() != "httpg" {
+		t.Fatal("scheme")
+	}
+	resp, err := tr.Call(context.Background(), &Request{Endpoint: endpoint, Body: []byte("payload")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !authOK || string(resp.Body) != "secure" {
+		t.Fatalf("auth failed: %v %q", authOK, resp.Body)
+	}
+
+	// Wrong secret must be rejected by the server.
+	bad := NewHTTPGTransport([]byte("wrong"))
+	if _, err := bad.Call(context.Background(), &Request{Endpoint: endpoint, Body: []byte("payload")}); err == nil {
+		t.Fatal("wrong secret accepted")
+	}
+}
+
+func TestVerifyHTTPG(t *testing.T) {
+	secret := []byte("s")
+	proof := SignHTTPG(secret, []byte("b"))
+	if !VerifyHTTPG(secret, []byte("b"), proof) {
+		t.Fatal("valid proof rejected")
+	}
+	if VerifyHTTPG(secret, []byte("tampered"), proof) {
+		t.Fatal("tampered body accepted")
+	}
+	if VerifyHTTPG([]byte("other"), []byte("b"), proof) {
+		t.Fatal("wrong key accepted")
+	}
+}

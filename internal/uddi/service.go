@@ -1,0 +1,189 @@
+package uddi
+
+import (
+	"context"
+	"fmt"
+
+	"wspeer/internal/engine"
+	"wspeer/internal/transport"
+	"wspeer/internal/wsdl"
+)
+
+// ServiceName is the name under which a registry is exposed as a SOAP
+// service.
+const ServiceName = "UDDIRegistry"
+
+// Namespace is the target namespace of the registry service.
+const Namespace = "http://wspeer.dev/uddi"
+
+// ServiceDef builds the engine service definition exposing the registry
+// over SOAP. The registry thereby becomes an ordinary WSPeer-hosted
+// service, dogfooding the stack the way the paper's standard
+// implementation assumes a network-reachable UDDI node.
+func ServiceDef(r *Registry) engine.ServiceDef {
+	return engine.ServiceDef{
+		Name:      ServiceName,
+		Namespace: Namespace,
+		Operations: []engine.OperationDef{
+			{
+				Name:       "publish",
+				Func:       func(svc BusinessService) (string, error) { return r.Publish(svc) },
+				ParamNames: []string{"service"},
+				Doc:        "store a businessService record; returns its serviceKey",
+			},
+			{
+				Name:       "unpublish",
+				Func:       func(key string) (bool, error) { return r.Unpublish(key) },
+				ParamNames: []string{"serviceKey"},
+			},
+			{
+				Name:       "find",
+				Func:       func(q FindQuery) ([]BusinessService, error) { return r.Find(q) },
+				ParamNames: []string{"query"},
+				Doc:        "find businessService records by name pattern and category bag",
+			},
+			{
+				Name: "get",
+				Func: func(key string) (BusinessService, error) {
+					svc, err := r.Get(key)
+					if err != nil {
+						return BusinessService{}, err
+					}
+					if svc == nil {
+						return BusinessService{}, fmt.Errorf("uddi: no service with key %q", key)
+					}
+					return *svc, nil
+				},
+				ParamNames: []string{"serviceKey"},
+			},
+			{
+				Name:       "registerTModel",
+				Func:       func(tm TModel) (string, error) { return r.RegisterTModel(tm) },
+				ParamNames: []string{"tModel"},
+				Doc:        "store a technical model; returns its tModelKey",
+			},
+			{
+				Name: "getTModel",
+				Func: func(key string) (TModel, error) {
+					tm, err := r.GetTModel(key)
+					if err != nil {
+						return TModel{}, err
+					}
+					if tm == nil {
+						return TModel{}, fmt.Errorf("uddi: no tModel with key %q", key)
+					}
+					return *tm, nil
+				},
+				ParamNames: []string{"tModelKey"},
+			},
+			{
+				Name:       "findTModels",
+				Func:       func(namePattern string) ([]TModel, error) { return r.FindTModels(namePattern) },
+				ParamNames: []string{"namePattern"},
+			},
+		},
+	}
+}
+
+// Client invokes a remote registry service.
+type Client struct {
+	stub *engine.Stub
+}
+
+// NewClient returns a client for the registry at endpoint. The registry's
+// interface is well known, so the WSDL is constructed locally rather than
+// fetched.
+func NewClient(endpoint string, reg *transport.Registry) (*Client, error) {
+	// Build the canonical definitions against a throwaway engine.
+	e := engine.New()
+	svc, err := e.Deploy(ServiceDef(NewRegistry()))
+	if err != nil {
+		return nil, fmt.Errorf("uddi: building client definitions: %w", err)
+	}
+	transportURI := wsdl.TransportHTTP
+	if transport.SchemeOf(endpoint) == "httpg" {
+		transportURI = wsdl.TransportHTTPG
+	}
+	defs, err := svc.WSDL(transportURI, endpoint)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{stub: engine.NewStub(defs, reg)}, nil
+}
+
+// Publish stores a record remotely and returns its serviceKey.
+func (c *Client) Publish(ctx context.Context, svc BusinessService) (string, error) {
+	res, err := c.stub.Invoke(ctx, "publish", engine.P("service", svc))
+	if err != nil {
+		return "", err
+	}
+	return res.String("return")
+}
+
+// Unpublish removes a record remotely.
+func (c *Client) Unpublish(ctx context.Context, key string) (bool, error) {
+	res, err := c.stub.Invoke(ctx, "unpublish", engine.P("serviceKey", key))
+	if err != nil {
+		return false, err
+	}
+	var ok bool
+	err = res.Decode("return", &ok)
+	return ok, err
+}
+
+// Find queries the remote registry.
+func (c *Client) Find(ctx context.Context, q FindQuery) ([]BusinessService, error) {
+	res, err := c.stub.Invoke(ctx, "find", engine.P("query", q))
+	if err != nil {
+		return nil, err
+	}
+	var out []BusinessService
+	err = res.Decode("return", &out)
+	return out, err
+}
+
+// Get fetches one record by key.
+func (c *Client) Get(ctx context.Context, key string) (*BusinessService, error) {
+	res, err := c.stub.Invoke(ctx, "get", engine.P("serviceKey", key))
+	if err != nil {
+		return nil, err
+	}
+	var svc BusinessService
+	if err := res.Decode("return", &svc); err != nil {
+		return nil, err
+	}
+	return &svc, nil
+}
+
+// RegisterTModel stores a tModel remotely and returns its key.
+func (c *Client) RegisterTModel(ctx context.Context, tm TModel) (string, error) {
+	res, err := c.stub.Invoke(ctx, "registerTModel", engine.P("tModel", tm))
+	if err != nil {
+		return "", err
+	}
+	return res.String("return")
+}
+
+// GetTModel fetches a tModel by key.
+func (c *Client) GetTModel(ctx context.Context, key string) (*TModel, error) {
+	res, err := c.stub.Invoke(ctx, "getTModel", engine.P("tModelKey", key))
+	if err != nil {
+		return nil, err
+	}
+	var tm TModel
+	if err := res.Decode("return", &tm); err != nil {
+		return nil, err
+	}
+	return &tm, nil
+}
+
+// FindTModels queries tModels by name pattern.
+func (c *Client) FindTModels(ctx context.Context, namePattern string) ([]TModel, error) {
+	res, err := c.stub.Invoke(ctx, "findTModels", engine.P("namePattern", namePattern))
+	if err != nil {
+		return nil, err
+	}
+	var out []TModel
+	err = res.Decode("return", &out)
+	return out, err
+}

@@ -1,0 +1,380 @@
+package uddi
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"wspeer/internal/engine"
+	"wspeer/internal/httpd"
+	"wspeer/internal/transport"
+)
+
+func record(name string, cats ...KeyedReference) BusinessService {
+	return BusinessService{
+		Name:        name,
+		Description: "test record",
+		CategoryBag: cats,
+		Bindings: []BindingTemplate{{
+			AccessPoint:  "http://127.0.0.1:9999/services/" + name,
+			WSDLLocation: "http://127.0.0.1:9999/services/" + name + "?wsdl",
+		}},
+	}
+}
+
+func TestPublishFindGet(t *testing.T) {
+	r := NewRegistry()
+	key, err := r.Publish(record("EchoService"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(key, "uuid:") {
+		t.Fatalf("key = %q", key)
+	}
+	got, err := r.Get(key)
+	if err != nil || got == nil || got.Name != "EchoService" {
+		t.Fatalf("get: %+v, %v", got, err)
+	}
+	missing, err := r.Get("uuid:nope")
+	if err != nil || missing != nil {
+		t.Fatalf("missing get: %+v, %v", missing, err)
+	}
+
+	found, err := r.Find(FindQuery{Name: "EchoService"})
+	if err != nil || len(found) != 1 {
+		t.Fatalf("find exact: %v, %v", found, err)
+	}
+	none, err := r.Find(FindQuery{Name: "Other"})
+	if err != nil || len(none) != 0 {
+		t.Fatalf("find miss: %v", none)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestPublishValidationAndReplace(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Publish(BusinessService{}); err == nil {
+		t.Fatal("nameless record accepted")
+	}
+	key, _ := r.Publish(record("A"))
+	rec := record("A-updated")
+	rec.ServiceKey = key
+	key2, err := r.Publish(rec)
+	if err != nil || key2 != key {
+		t.Fatalf("replace: %q, %v", key2, err)
+	}
+	got, _ := r.Get(key)
+	if got.Name != "A-updated" {
+		t.Fatalf("replace lost: %+v", got)
+	}
+	if r.Len() != 1 {
+		t.Fatal("replace duplicated record")
+	}
+}
+
+func TestUnpublish(t *testing.T) {
+	r := NewRegistry()
+	key, _ := r.Publish(record("A"))
+	ok, err := r.Unpublish(key)
+	if err != nil || !ok {
+		t.Fatalf("unpublish: %v %v", ok, err)
+	}
+	ok, err = r.Unpublish(key)
+	if err != nil || ok {
+		t.Fatal("double unpublish reported success")
+	}
+}
+
+func TestWildcardMatching(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"", "anything", true},
+		{"%", "anything", true},
+		{"Echo", "Echo", true},
+		{"Echo", "EchoService", false},
+		{"Echo%", "EchoService", true},
+		{"Echo%", "MyEcho", false},
+		{"%Service", "EchoService", true},
+		{"%Service", "ServiceEcho", false},
+		{"%cho%", "EchoService", true},
+		{"%zzz%", "EchoService", false},
+		{"E%S%e", "EchoService", true},
+		{"E%X%e", "EchoService", false},
+	}
+	for _, c := range cases {
+		if got := matchName(c.pattern, c.name); got != c.want {
+			t.Errorf("matchName(%q, %q) = %v, want %v", c.pattern, c.name, got, c.want)
+		}
+	}
+}
+
+func TestQuickWildcardSubstring(t *testing.T) {
+	// Property: %frag% matches exactly when frag is a substring.
+	f := func(frag, name string) bool {
+		if strings.Contains(frag, "%") {
+			return true
+		}
+		return matchName("%"+frag+"%", name) == strings.Contains(name, frag)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCategoryMatching(t *testing.T) {
+	r := NewRegistry()
+	gridCat := KeyedReference{TModelKey: "uuid:types", KeyName: "kind", KeyValue: "grid"}
+	p2pCat := KeyedReference{TModelKey: "uuid:types", KeyName: "kind", KeyValue: "p2p"}
+	regionCat := KeyedReference{TModelKey: "uuid:region", KeyValue: "eu"}
+	r.Publish(record("GridEcho", gridCat, regionCat))
+	r.Publish(record("P2PEcho", p2pCat))
+
+	found, err := r.Find(FindQuery{Categories: []KeyedReference{gridCat}})
+	if err != nil || len(found) != 1 || found[0].Name != "GridEcho" {
+		t.Fatalf("category find: %v", found)
+	}
+	// All categories must match.
+	found, _ = r.Find(FindQuery{Categories: []KeyedReference{gridCat, p2pCat}})
+	if len(found) != 0 {
+		t.Fatalf("conjunctive categories: %v", found)
+	}
+	found, _ = r.Find(FindQuery{Categories: []KeyedReference{gridCat, regionCat}})
+	if len(found) != 1 {
+		t.Fatalf("multi category: %v", found)
+	}
+	// Name and category combine.
+	found, _ = r.Find(FindQuery{Name: "Grid%", Categories: []KeyedReference{gridCat}})
+	if len(found) != 1 {
+		t.Fatalf("combined: %v", found)
+	}
+}
+
+func TestMaxRows(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 10; i++ {
+		r.Publish(record("Svc"))
+	}
+	found, err := r.Find(FindQuery{Name: "Svc", MaxRows: 3})
+	if err != nil || len(found) != 3 {
+		t.Fatalf("maxRows: %d, %v", len(found), err)
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	r := NewRegistry()
+	key, _ := r.Publish(record("A"))
+	r.SetFailed(true)
+	if _, err := r.Publish(record("B")); err != ErrUnavailable {
+		t.Fatalf("publish while failed: %v", err)
+	}
+	if _, err := r.Find(FindQuery{}); err != ErrUnavailable {
+		t.Fatalf("find while failed: %v", err)
+	}
+	if _, err := r.Get(key); err != ErrUnavailable {
+		t.Fatalf("get while failed: %v", err)
+	}
+	if _, err := r.Unpublish(key); err != ErrUnavailable {
+		t.Fatalf("unpublish while failed: %v", err)
+	}
+	r.SetFailed(false)
+	if _, err := r.Get(key); err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	r := NewRegistry()
+	r.Publish(record("A"))
+	r.Find(FindQuery{})
+	r.Find(FindQuery{})
+	q, w := r.Stats()
+	if q != 2 || w != 1 {
+		t.Fatalf("stats = %d queries, %d writes", q, w)
+	}
+}
+
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key, err := r.Publish(record("Concurrent"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := r.Find(FindQuery{Name: "Concurrent"}); err != nil {
+				t.Error(err)
+			}
+			if _, err := r.Get(key); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 16 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+// TestRegistryAsService exercises the full dogfooding loop: the registry
+// hosted as a WSPeer SOAP service over real HTTP, driven by the client.
+func TestRegistryAsService(t *testing.T) {
+	r := NewRegistry()
+	host := httpd.New(engine.New(), httpd.Options{})
+	defer host.Close()
+	endpoint, err := host.Deploy(ServiceDef(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewHTTPTransport())
+	client, err := NewClient(endpoint, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	rec := record("RemoteEcho", KeyedReference{TModelKey: "uuid:types", KeyName: "kind", KeyValue: "demo"})
+	rec.WSDLDocument = "<definitions/>"
+	key, err := client.Publish(ctx, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key == "" {
+		t.Fatal("empty key")
+	}
+
+	found, err := client.Find(ctx, FindQuery{Name: "Remote%"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 1 || found[0].Name != "RemoteEcho" {
+		t.Fatalf("remote find: %+v", found)
+	}
+	if found[0].Bindings[0].AccessPoint == "" || found[0].WSDLDocument != "<definitions/>" {
+		t.Fatalf("record fields lost over the wire: %+v", found[0])
+	}
+	if len(found[0].CategoryBag) != 1 || found[0].CategoryBag[0].KeyValue != "demo" {
+		t.Fatalf("category bag lost: %+v", found[0].CategoryBag)
+	}
+
+	got, err := client.Get(ctx, key)
+	if err != nil || got.Name != "RemoteEcho" {
+		t.Fatalf("remote get: %+v, %v", got, err)
+	}
+
+	ok, err := client.Unpublish(ctx, key)
+	if err != nil || !ok {
+		t.Fatalf("remote unpublish: %v %v", ok, err)
+	}
+	// get on a removed key becomes a SOAP fault.
+	if _, err := client.Get(ctx, key); err == nil {
+		t.Fatal("get after unpublish succeeded")
+	}
+
+	// Failure injection propagates to remote callers as faults.
+	r.SetFailed(true)
+	if _, err := client.Find(ctx, FindQuery{}); err == nil {
+		t.Fatal("failed registry answered")
+	}
+}
+
+func TestTModelRegistry(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.RegisterTModel(TModel{}); err == nil {
+		t.Fatal("nameless tModel accepted")
+	}
+	key, err := r.RegisterTModel(TModel{
+		Name:        "wspeer-org:EchoPortType",
+		Description: "interface fingerprint",
+		OverviewURL: "http://host/services/Echo?wsdl",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(key, "uuid:") {
+		t.Fatalf("key = %q", key)
+	}
+	tm, err := r.GetTModel(key)
+	if err != nil || tm == nil || tm.OverviewURL == "" {
+		t.Fatalf("get: %+v, %v", tm, err)
+	}
+	missing, err := r.GetTModel("uuid:none")
+	if err != nil || missing != nil {
+		t.Fatalf("missing get: %+v", missing)
+	}
+	found, err := r.FindTModels("wspeer-org:%")
+	if err != nil || len(found) != 1 {
+		t.Fatalf("find: %v, %v", found, err)
+	}
+	none, _ := r.FindTModels("other:%")
+	if len(none) != 0 {
+		t.Fatalf("find false positive: %v", none)
+	}
+	// Replace by key.
+	tm2 := TModel{TModelKey: key, Name: "wspeer-org:EchoPortType", Description: "v2"}
+	key2, err := r.RegisterTModel(tm2)
+	if err != nil || key2 != key {
+		t.Fatal("replace")
+	}
+	got, _ := r.GetTModel(key)
+	if got.Description != "v2" {
+		t.Fatal("replace lost")
+	}
+	// Failure injection covers tModels too.
+	r.SetFailed(true)
+	if _, err := r.RegisterTModel(TModel{Name: "x"}); err != ErrUnavailable {
+		t.Fatal("register while failed")
+	}
+	if _, err := r.GetTModel(key); err != ErrUnavailable {
+		t.Fatal("get while failed")
+	}
+	if _, err := r.FindTModels("%"); err != ErrUnavailable {
+		t.Fatal("find while failed")
+	}
+}
+
+func TestTModelOverSOAP(t *testing.T) {
+	r := NewRegistry()
+	host := httpd.New(engine.New(), httpd.Options{})
+	defer host.Close()
+	endpoint, err := host.Deploy(ServiceDef(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewHTTPTransport())
+	client, err := NewClient(endpoint, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	key, err := client.RegisterTModel(ctx, TModel{
+		Name: "acme:CalcPortType", OverviewURL: "http://acme/calc?wsdl",
+	})
+	if err != nil || key == "" {
+		t.Fatalf("remote register: %q, %v", key, err)
+	}
+	tm, err := client.GetTModel(ctx, key)
+	if err != nil || tm.OverviewURL != "http://acme/calc?wsdl" {
+		t.Fatalf("remote get: %+v, %v", tm, err)
+	}
+	found, err := client.FindTModels(ctx, "acme:%")
+	if err != nil || len(found) != 1 {
+		t.Fatalf("remote find: %v, %v", found, err)
+	}
+	if _, err := client.GetTModel(ctx, "uuid:none"); err == nil {
+		t.Fatal("missing tModel should fault")
+	}
+}

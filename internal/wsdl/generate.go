@@ -1,0 +1,106 @@
+package wsdl
+
+import (
+	"fmt"
+
+	"wspeer/internal/xmlutil"
+)
+
+// Element renders the definitions as a WSDL 1.1 document element.
+func (d *Definitions) Element() (*xmlutil.Element, error) {
+	root := xmlutil.NewElement(xmlutil.N(Namespace, "definitions"))
+	if d.Name != "" {
+		root.SetAttr(xmlutil.N("", "name"), d.Name)
+	}
+	root.SetAttr(xmlutil.N("", "targetNamespace"), d.TargetNamespace)
+	root.DeclarePrefix("tns", d.TargetNamespace)
+	root.DeclarePrefix("wsdl", Namespace)
+	root.DeclarePrefix("wsdlsoap", SOAPNamespace)
+
+	if d.Schema != nil || len(d.RawSchemas) > 0 {
+		types := root.NewChild(xmlutil.N(Namespace, "types"))
+		if d.Schema != nil {
+			schemaEl, err := d.Schema.Element()
+			if err != nil {
+				return nil, fmt.Errorf("wsdl: schema: %w", err)
+			}
+			types.AddChild(schemaEl)
+		}
+		for _, raw := range d.RawSchemas {
+			types.AddChild(raw.Clone())
+		}
+	}
+
+	for _, m := range d.Messages {
+		mel := root.NewChild(xmlutil.N(Namespace, "message"))
+		mel.SetAttr(xmlutil.N("", "name"), m.Name)
+		for _, p := range m.Parts {
+			pel := mel.NewChild(xmlutil.N(Namespace, "part"))
+			pel.SetAttr(xmlutil.N("", "name"), p.Name)
+			pel.SetAttr(xmlutil.N("", "element"), xmlutil.QNameValue(root, p.Element))
+		}
+	}
+
+	for _, pt := range d.PortTypes {
+		ptel := root.NewChild(xmlutil.N(Namespace, "portType"))
+		ptel.SetAttr(xmlutil.N("", "name"), pt.Name)
+		for _, op := range pt.Operations {
+			opel := ptel.NewChild(xmlutil.N(Namespace, "operation"))
+			opel.SetAttr(xmlutil.N("", "name"), op.Name)
+			if op.Doc != "" {
+				opel.NewChild(xmlutil.N(Namespace, "documentation")).SetText(op.Doc)
+			}
+			in := opel.NewChild(xmlutil.N(Namespace, "input"))
+			in.SetAttr(xmlutil.N("", "message"), xmlutil.QNameValue(root, xmlutil.N(d.TargetNamespace, op.Input)))
+			if !op.OneWay() {
+				out := opel.NewChild(xmlutil.N(Namespace, "output"))
+				out.SetAttr(xmlutil.N("", "message"), xmlutil.QNameValue(root, xmlutil.N(d.TargetNamespace, op.Output)))
+			}
+		}
+	}
+
+	for _, b := range d.Bindings {
+		bel := root.NewChild(xmlutil.N(Namespace, "binding"))
+		bel.SetAttr(xmlutil.N("", "name"), b.Name)
+		bel.SetAttr(xmlutil.N("", "type"), xmlutil.QNameValue(root, xmlutil.N(d.TargetNamespace, b.PortType)))
+		sb := bel.NewChild(xmlutil.N(SOAPNamespace, "binding"))
+		sb.SetAttr(xmlutil.N("", "style"), "document")
+		sb.SetAttr(xmlutil.N("", "transport"), b.Transport)
+		for _, bo := range b.Operations {
+			boel := bel.NewChild(xmlutil.N(Namespace, "operation"))
+			boel.SetAttr(xmlutil.N("", "name"), bo.Name)
+			so := boel.NewChild(xmlutil.N(SOAPNamespace, "operation"))
+			so.SetAttr(xmlutil.N("", "soapAction"), bo.SOAPAction)
+			in := boel.NewChild(xmlutil.N(Namespace, "input"))
+			in.NewChild(xmlutil.N(SOAPNamespace, "body")).SetAttr(xmlutil.N("", "use"), "literal")
+			op := d.Operation(bo.Name)
+			if op != nil && !op.OneWay() {
+				out := boel.NewChild(xmlutil.N(Namespace, "output"))
+				out.NewChild(xmlutil.N(SOAPNamespace, "body")).SetAttr(xmlutil.N("", "use"), "literal")
+			}
+		}
+	}
+
+	for _, s := range d.Services {
+		sel := root.NewChild(xmlutil.N(Namespace, "service"))
+		sel.SetAttr(xmlutil.N("", "name"), s.Name)
+		for _, p := range s.Ports {
+			pel := sel.NewChild(xmlutil.N(Namespace, "port"))
+			pel.SetAttr(xmlutil.N("", "name"), p.Name)
+			pel.SetAttr(xmlutil.N("", "binding"), xmlutil.QNameValue(root, xmlutil.N(d.TargetNamespace, p.Binding)))
+			addr := pel.NewChild(xmlutil.N(SOAPNamespace, "address"))
+			addr.SetAttr(xmlutil.N("", "location"), p.Address)
+		}
+	}
+
+	return root, nil
+}
+
+// Marshal renders the definitions as an indented WSDL document.
+func (d *Definitions) Marshal() ([]byte, error) {
+	el, err := d.Element()
+	if err != nil {
+		return nil, err
+	}
+	return xmlutil.MarshalIndent(el), nil
+}

@@ -1,0 +1,208 @@
+package wsdl
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"wspeer/internal/xmlutil"
+	"wspeer/internal/xsd"
+)
+
+// Parse reads a WSDL 1.1 document.
+func Parse(data []byte) (*Definitions, error) {
+	root, err := xmlutil.ParseBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("wsdl: %w", err)
+	}
+	return FromElement(root)
+}
+
+// FromElement interprets a parsed element tree as WSDL definitions.
+func FromElement(root *xmlutil.Element) (*Definitions, error) {
+	if root.Name != xmlutil.N(Namespace, "definitions") {
+		return nil, fmt.Errorf("wsdl: document element is %v, not wsdl:definitions", root.Name)
+	}
+	d := &Definitions{}
+	if v, ok := root.Attr(xmlutil.N("", "name")); ok {
+		d.Name = v
+	}
+	if v, ok := root.Attr(xmlutil.N("", "targetNamespace")); ok {
+		d.TargetNamespace = v
+	} else {
+		return nil, fmt.Errorf("wsdl: definitions has no targetNamespace")
+	}
+
+	for _, imp := range root.Children(xmlutil.N(Namespace, "import")) {
+		i := Import{}
+		i.Namespace, _ = imp.Attr(xmlutil.N("", "namespace"))
+		i.Location, _ = imp.Attr(xmlutil.N("", "location"))
+		if i.Location != "" {
+			d.Imports = append(d.Imports, i)
+		}
+	}
+
+	if types := root.Child(xmlutil.N(Namespace, "types")); types != nil {
+		for _, sch := range types.Children(xmlutil.N(xsd.Namespace, "schema")) {
+			d.RawSchemas = append(d.RawSchemas, sch)
+		}
+	}
+
+	for _, mel := range root.Children(xmlutil.N(Namespace, "message")) {
+		m := &Message{}
+		m.Name, _ = mel.Attr(xmlutil.N("", "name"))
+		for _, pel := range mel.Children(xmlutil.N(Namespace, "part")) {
+			p := Part{}
+			p.Name, _ = pel.Attr(xmlutil.N("", "name"))
+			if ref, ok := pel.Attr(xmlutil.N("", "element")); ok {
+				qn, err := pel.ResolveQName(ref)
+				if err != nil {
+					return nil, fmt.Errorf("wsdl: message %q part %q: %w", m.Name, p.Name, err)
+				}
+				p.Element = qn
+			}
+			m.Parts = append(m.Parts, p)
+		}
+		d.Messages = append(d.Messages, m)
+	}
+
+	for _, ptel := range root.Children(xmlutil.N(Namespace, "portType")) {
+		pt := &PortType{}
+		pt.Name, _ = ptel.Attr(xmlutil.N("", "name"))
+		for _, opel := range ptel.Children(xmlutil.N(Namespace, "operation")) {
+			op := &Operation{}
+			op.Name, _ = opel.Attr(xmlutil.N("", "name"))
+			if doc := opel.Child(xmlutil.N(Namespace, "documentation")); doc != nil {
+				op.Doc = doc.TrimmedText()
+			}
+			if in := opel.Child(xmlutil.N(Namespace, "input")); in != nil {
+				ref, _ := in.Attr(xmlutil.N("", "message"))
+				op.Input = localOf(in, ref)
+			}
+			if out := opel.Child(xmlutil.N(Namespace, "output")); out != nil {
+				ref, _ := out.Attr(xmlutil.N("", "message"))
+				op.Output = localOf(out, ref)
+			}
+			pt.Operations = append(pt.Operations, op)
+		}
+		d.PortTypes = append(d.PortTypes, pt)
+	}
+
+	for _, bel := range root.Children(xmlutil.N(Namespace, "binding")) {
+		b := &Binding{}
+		b.Name, _ = bel.Attr(xmlutil.N("", "name"))
+		if ref, ok := bel.Attr(xmlutil.N("", "type")); ok {
+			b.PortType = localOf(bel, ref)
+		}
+		if sb := bel.Child(xmlutil.N(SOAPNamespace, "binding")); sb != nil {
+			b.Transport, _ = sb.Attr(xmlutil.N("", "transport"))
+		}
+		for _, boel := range bel.Children(xmlutil.N(Namespace, "operation")) {
+			bo := BindingOperation{}
+			bo.Name, _ = boel.Attr(xmlutil.N("", "name"))
+			if so := boel.Child(xmlutil.N(SOAPNamespace, "operation")); so != nil {
+				bo.SOAPAction, _ = so.Attr(xmlutil.N("", "soapAction"))
+			}
+			b.Operations = append(b.Operations, bo)
+		}
+		d.Bindings = append(d.Bindings, b)
+	}
+
+	for _, sel := range root.Children(xmlutil.N(Namespace, "service")) {
+		s := &Service{}
+		s.Name, _ = sel.Attr(xmlutil.N("", "name"))
+		for _, pel := range sel.Children(xmlutil.N(Namespace, "port")) {
+			p := Port{}
+			p.Name, _ = pel.Attr(xmlutil.N("", "name"))
+			if ref, ok := pel.Attr(xmlutil.N("", "binding")); ok {
+				p.Binding = localOf(pel, ref)
+			}
+			if addr := pel.Child(xmlutil.N(SOAPNamespace, "address")); addr != nil {
+				p.Address, _ = addr.Attr(xmlutil.N("", "location"))
+			}
+			s.Ports = append(s.Ports, p)
+		}
+		d.Services = append(d.Services, s)
+	}
+
+	return d, nil
+}
+
+// localOf resolves a QName reference and returns its local part. Cross-
+// namespace references fall back to the lexical local part so that
+// single-document WSDLs from lenient generators still parse.
+func localOf(scope *xmlutil.Element, ref string) string {
+	if qn, err := scope.ResolveQName(ref); err == nil {
+		return qn.Local
+	}
+	if i := strings.LastIndexByte(ref, ':'); i >= 0 {
+		return ref[i+1:]
+	}
+	return ref
+}
+
+// SchemaElementDeclared reports whether any raw schema in the parsed
+// document declares a top-level element with the given name.
+func (d *Definitions) SchemaElementDeclared(name xmlutil.Name) bool {
+	for _, sch := range d.RawSchemas {
+		tnsAttr, _ := sch.Attr(xmlutil.N("", "targetNamespace"))
+		if name.Space != "" && tnsAttr != name.Space {
+			continue
+		}
+		for _, el := range sch.Children(xmlutil.N(xsd.Namespace, "element")) {
+			if n, _ := el.Attr(xmlutil.N("", "name")); n == name.Local {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Fetcher retrieves an imported document by location.
+type Fetcher func(ctx context.Context, location string) ([]byte, error)
+
+// maxImportDepth bounds transitive import chains.
+const maxImportDepth = 8
+
+// ResolveImports fetches every wsdl:import (transitively, cycle-safe,
+// depth-bounded) and merges the imported definitions' schemas, messages,
+// portTypes, bindings and services into d. Real-world WSDL is frequently
+// split this way (interface document imported by a service document).
+func (d *Definitions) ResolveImports(ctx context.Context, fetch Fetcher) error {
+	if fetch == nil {
+		return fmt.Errorf("wsdl: ResolveImports needs a Fetcher")
+	}
+	seen := map[string]bool{}
+	return d.resolveImports(ctx, fetch, seen, 0)
+}
+
+func (d *Definitions) resolveImports(ctx context.Context, fetch Fetcher, seen map[string]bool, depth int) error {
+	if depth > maxImportDepth {
+		return fmt.Errorf("wsdl: import chain deeper than %d documents", maxImportDepth)
+	}
+	imports := d.Imports
+	d.Imports = nil
+	for _, imp := range imports {
+		if seen[imp.Location] {
+			continue // cycle or diamond: already merged
+		}
+		seen[imp.Location] = true
+		data, err := fetch(ctx, imp.Location)
+		if err != nil {
+			return fmt.Errorf("wsdl: importing %q: %w", imp.Location, err)
+		}
+		sub, err := Parse(data)
+		if err != nil {
+			return fmt.Errorf("wsdl: importing %q: %w", imp.Location, err)
+		}
+		if err := sub.resolveImports(ctx, fetch, seen, depth+1); err != nil {
+			return err
+		}
+		d.RawSchemas = append(d.RawSchemas, sub.RawSchemas...)
+		d.Messages = append(d.Messages, sub.Messages...)
+		d.PortTypes = append(d.PortTypes, sub.PortTypes...)
+		d.Bindings = append(d.Bindings, sub.Bindings...)
+		d.Services = append(d.Services, sub.Services...)
+	}
+	return nil
+}

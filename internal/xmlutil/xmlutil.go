@@ -1,0 +1,676 @@
+// Package xmlutil provides a namespace-aware XML element tree.
+//
+// The standard encoding/xml struct marshalling cannot express the prefix
+// and QName fidelity that SOAP, WSDL and P2PS advertisements require:
+// qualified names appear not only as element and attribute names but also
+// inside attribute values and character data (e.g. WSDL's
+// element="tns:EchoRequest"). This package keeps namespace declarations as
+// first-class scope information on each element so such references can be
+// resolved, and serializes trees with deterministic prefix assignment.
+package xmlutil
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Name is a namespace-qualified XML name. Space is the namespace URI (empty
+// for unqualified names) and Local the local part.
+type Name struct {
+	Space string
+	Local string
+}
+
+// N is shorthand for constructing a Name.
+func N(space, local string) Name { return Name{Space: space, Local: local} }
+
+// String renders the name in Clark notation: {space}local.
+func (n Name) String() string {
+	if n.Space == "" {
+		return n.Local
+	}
+	return "{" + n.Space + "}" + n.Local
+}
+
+// IsZero reports whether the name is empty.
+func (n Name) IsZero() bool { return n.Space == "" && n.Local == "" }
+
+// Attr is a single attribute. Namespace declarations are not represented as
+// Attrs; they live in the element's prefix scope.
+type Attr struct {
+	Name  Name
+	Value string
+}
+
+// Node is a child of an Element: either *Element or Text.
+type Node interface{ isNode() }
+
+// Text is character data within an element.
+type Text string
+
+func (Text) isNode()     {}
+func (*Element) isNode() {}
+
+// Element is a node in the tree.
+type Element struct {
+	Name     Name
+	Attrs    []Attr
+	children []Node
+	parent   *Element
+	// nsDecls maps prefix -> namespace URI declared on this element.
+	// The empty prefix is the default namespace.
+	nsDecls map[string]string
+}
+
+// NewElement returns a parentless element with the given name.
+func NewElement(name Name) *Element {
+	return &Element{Name: name}
+}
+
+// Parent returns the enclosing element, or nil at the root.
+func (e *Element) Parent() *Element { return e.parent }
+
+// Nodes returns the child nodes in document order. The returned slice must
+// not be modified.
+func (e *Element) Nodes() []Node { return e.children }
+
+// Elements returns all child elements in document order.
+func (e *Element) Elements() []*Element {
+	var out []*Element
+	for _, n := range e.children {
+		if el, ok := n.(*Element); ok {
+			out = append(out, el)
+		}
+	}
+	return out
+}
+
+// Children returns all child elements with the given name.
+func (e *Element) Children(name Name) []*Element {
+	var out []*Element
+	for _, n := range e.children {
+		if el, ok := n.(*Element); ok && el.Name == name {
+			out = append(out, el)
+		}
+	}
+	return out
+}
+
+// Child returns the first child element with the given name, or nil.
+func (e *Element) Child(name Name) *Element {
+	for _, n := range e.children {
+		if el, ok := n.(*Element); ok && el.Name == name {
+			return el
+		}
+	}
+	return nil
+}
+
+// ChildLocal returns the first child element whose local name matches,
+// regardless of namespace, or nil.
+func (e *Element) ChildLocal(local string) *Element {
+	for _, n := range e.children {
+		if el, ok := n.(*Element); ok && el.Name.Local == local {
+			return el
+		}
+	}
+	return nil
+}
+
+// Find returns the first descendant (depth-first, including e itself) with
+// the given name, or nil.
+func (e *Element) Find(name Name) *Element {
+	if e.Name == name {
+		return e
+	}
+	for _, n := range e.children {
+		if el, ok := n.(*Element); ok {
+			if found := el.Find(name); found != nil {
+				return found
+			}
+		}
+	}
+	return nil
+}
+
+// FindAll returns every descendant (including e itself) with the given name.
+func (e *Element) FindAll(name Name) []*Element {
+	var out []*Element
+	e.walk(func(el *Element) {
+		if el.Name == name {
+			out = append(out, el)
+		}
+	})
+	return out
+}
+
+func (e *Element) walk(f func(*Element)) {
+	f(e)
+	for _, n := range e.children {
+		if el, ok := n.(*Element); ok {
+			el.walk(f)
+		}
+	}
+}
+
+// AddChild appends child to e, detaching it from any previous parent.
+func (e *Element) AddChild(child *Element) *Element {
+	if child.parent != nil {
+		child.parent.RemoveChild(child)
+	}
+	child.parent = e
+	e.children = append(e.children, child)
+	return child
+}
+
+// NewChild creates, appends and returns a new child element.
+func (e *Element) NewChild(name Name) *Element {
+	return e.AddChild(NewElement(name))
+}
+
+// RemoveChild removes the first occurrence of child from e's children.
+// It reports whether the child was found.
+func (e *Element) RemoveChild(child *Element) bool {
+	for i, n := range e.children {
+		if n == child {
+			e.children = append(e.children[:i], e.children[i+1:]...)
+			child.parent = nil
+			return true
+		}
+	}
+	return false
+}
+
+// AddText appends character data to e and returns e.
+func (e *Element) AddText(s string) *Element {
+	e.children = append(e.children, Text(s))
+	return e
+}
+
+// SetText replaces all children with a single text node.
+func (e *Element) SetText(s string) *Element {
+	for _, n := range e.children {
+		if el, ok := n.(*Element); ok {
+			el.parent = nil
+		}
+	}
+	e.children = e.children[:0]
+	if s != "" {
+		e.children = append(e.children, Text(s))
+	}
+	return e
+}
+
+// Text returns the concatenation of all direct character-data children.
+func (e *Element) Text() string {
+	var b strings.Builder
+	for _, n := range e.children {
+		if t, ok := n.(Text); ok {
+			b.WriteString(string(t))
+		}
+	}
+	return b.String()
+}
+
+// TrimmedText returns Text with surrounding whitespace removed.
+func (e *Element) TrimmedText() string { return strings.TrimSpace(e.Text()) }
+
+// Attr returns the value of the named attribute.
+func (e *Element) Attr(name Name) (string, bool) {
+	for _, a := range e.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrLocal returns the value of the first attribute whose local name
+// matches, regardless of namespace.
+func (e *Element) AttrLocal(local string) (string, bool) {
+	for _, a := range e.Attrs {
+		if a.Name.Local == local {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// SetAttr sets (or replaces) an attribute and returns e.
+func (e *Element) SetAttr(name Name, value string) *Element {
+	for i, a := range e.Attrs {
+		if a.Name == name {
+			e.Attrs[i].Value = value
+			return e
+		}
+	}
+	e.Attrs = append(e.Attrs, Attr{Name: name, Value: value})
+	return e
+}
+
+// DeclarePrefix binds prefix to the namespace URI in this element's scope.
+// An empty prefix declares the default namespace.
+func (e *Element) DeclarePrefix(prefix, uri string) *Element {
+	if e.nsDecls == nil {
+		e.nsDecls = make(map[string]string)
+	}
+	e.nsDecls[prefix] = uri
+	return e
+}
+
+// LookupPrefix resolves a prefix to a namespace URI using this element's
+// scope and its ancestors. The "xml" prefix is built in.
+func (e *Element) LookupPrefix(prefix string) (string, bool) {
+	if prefix == "xml" {
+		return "http://www.w3.org/XML/1998/namespace", true
+	}
+	for el := e; el != nil; el = el.parent {
+		if uri, ok := el.nsDecls[prefix]; ok {
+			return uri, ok
+		}
+	}
+	return "", false
+}
+
+// PrefixFor searches the in-scope declarations for a prefix bound to uri.
+func (e *Element) PrefixFor(uri string) (string, bool) {
+	seen := map[string]bool{}
+	for el := e; el != nil; el = el.parent {
+		// Iterate deterministically for stable results.
+		prefixes := make([]string, 0, len(el.nsDecls))
+		for p := range el.nsDecls {
+			prefixes = append(prefixes, p)
+		}
+		sort.Strings(prefixes)
+		for _, p := range prefixes {
+			if seen[p] {
+				continue // shadowed by a nearer declaration
+			}
+			seen[p] = true
+			if el.nsDecls[p] == uri {
+				return p, true
+			}
+		}
+	}
+	return "", false
+}
+
+// ResolveQName resolves a lexical QName ("pfx:local" or "local") appearing
+// in content or attribute values, using the element's in-scope namespace
+// declarations. An unprefixed QName resolves to the default namespace if one
+// is declared, otherwise to no namespace.
+func (e *Element) ResolveQName(s string) (Name, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Name{}, fmt.Errorf("xmlutil: empty qname")
+	}
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		prefix, local := s[:i], s[i+1:]
+		if prefix == "" || local == "" {
+			return Name{}, fmt.Errorf("xmlutil: malformed qname %q", s)
+		}
+		uri, ok := e.LookupPrefix(prefix)
+		if !ok {
+			return Name{}, fmt.Errorf("xmlutil: undeclared prefix %q in qname %q", prefix, s)
+		}
+		return Name{Space: uri, Local: local}, nil
+	}
+	if uri, ok := e.LookupPrefix(""); ok {
+		return Name{Space: uri, Local: s}, nil
+	}
+	return Name{Local: s}, nil
+}
+
+// Clone returns a deep copy of the element (detached from any parent).
+func (e *Element) Clone() *Element {
+	c := &Element{Name: e.Name}
+	if len(e.Attrs) > 0 {
+		c.Attrs = append([]Attr(nil), e.Attrs...)
+	}
+	if len(e.nsDecls) > 0 {
+		c.nsDecls = make(map[string]string, len(e.nsDecls))
+		for k, v := range e.nsDecls {
+			c.nsDecls[k] = v
+		}
+	}
+	for _, n := range e.children {
+		switch n := n.(type) {
+		case Text:
+			c.children = append(c.children, n)
+		case *Element:
+			cc := n.Clone()
+			cc.parent = c
+			c.children = append(c.children, cc)
+		}
+	}
+	return c
+}
+
+// Equal reports whether two trees are semantically equal: same names,
+// same attributes (order-insensitive), same child sequence, with character
+// data compared after trimming surrounding whitespace on mixed content
+// boundaries. Prefix choices and namespace declarations are ignored.
+func Equal(a, b *Element) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Name != b.Name {
+		return false
+	}
+	if len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for _, attr := range a.Attrs {
+		v, ok := b.Attr(attr.Name)
+		if !ok || v != attr.Value {
+			return false
+		}
+	}
+	ac, bc := significantChildren(a), significantChildren(b)
+	if len(ac) != len(bc) {
+		return false
+	}
+	for i := range ac {
+		switch an := ac[i].(type) {
+		case Text:
+			bn, ok := bc[i].(Text)
+			if !ok || an != bn {
+				return false
+			}
+		case *Element:
+			bn, ok := bc[i].(*Element)
+			if !ok || !Equal(an, bn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// significantChildren drops whitespace-only text nodes (indentation).
+func significantChildren(e *Element) []Node {
+	var out []Node
+	for _, n := range e.children {
+		if t, ok := n.(Text); ok {
+			if strings.TrimSpace(string(t)) == "" {
+				continue
+			}
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+// Parse reads a complete XML document from r and returns its root element.
+func Parse(r io.Reader) (*Element, error) {
+	dec := xml.NewDecoder(r)
+	var root *Element
+	var cur *Element
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlutil: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := NewElement(Name{Space: t.Name.Space, Local: t.Name.Local})
+			for _, a := range t.Attr {
+				switch {
+				case a.Name.Space == "xmlns":
+					el.DeclarePrefix(a.Name.Local, a.Value)
+				case a.Name.Space == "" && a.Name.Local == "xmlns":
+					el.DeclarePrefix("", a.Value)
+				default:
+					el.Attrs = append(el.Attrs, Attr{
+						Name:  Name{Space: a.Name.Space, Local: a.Name.Local},
+						Value: a.Value,
+					})
+				}
+			}
+			if cur == nil {
+				if root != nil {
+					return nil, fmt.Errorf("xmlutil: multiple document elements")
+				}
+				root = el
+			} else {
+				cur.AddChild(el)
+			}
+			cur = el
+		case xml.EndElement:
+			if cur == nil {
+				return nil, fmt.Errorf("xmlutil: unbalanced end element %s", t.Name.Local)
+			}
+			cur = cur.parent
+		case xml.CharData:
+			if cur != nil {
+				cur.children = append(cur.children, Text(string(t)))
+			}
+		case xml.Comment, xml.ProcInst, xml.Directive:
+			// Ignored: not significant for any protocol in this system.
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmlutil: empty document")
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("xmlutil: unexpected EOF inside <%s>", cur.Name.Local)
+	}
+	return root, nil
+}
+
+// ParseBytes parses an XML document held in b.
+func ParseBytes(b []byte) (*Element, error) { return Parse(bytes.NewReader(b)) }
+
+// ParseString parses an XML document held in s.
+func ParseString(s string) (*Element, error) { return Parse(strings.NewReader(s)) }
+
+// ---------------------------------------------------------------------------
+// Serialization
+
+// PreferredPrefixes maps namespace URIs to the prefixes a Writer should use
+// for them. Well-known SOAP-stack namespaces get conventional prefixes.
+var PreferredPrefixes = map[string]string{
+	"http://schemas.xmlsoap.org/soap/envelope/":        "soapenv",
+	"http://www.w3.org/2003/05/soap-envelope":          "soapenv",
+	"http://schemas.xmlsoap.org/wsdl/":                 "wsdl",
+	"http://schemas.xmlsoap.org/wsdl/soap/":            "wsdlsoap",
+	"http://www.w3.org/2001/XMLSchema":                 "xsd",
+	"http://www.w3.org/2001/XMLSchema-instance":        "xsi",
+	"http://schemas.xmlsoap.org/ws/2004/08/addressing": "wsa",
+}
+
+type writer struct {
+	b        *bytes.Buffer
+	indent   string
+	prefixes map[string]string // uri -> prefix, global assignment
+	next     int
+}
+
+// Marshal serializes the tree to a compact byte slice (no XML declaration).
+func Marshal(e *Element) []byte { return marshal(e, "") }
+
+// MarshalIndent serializes the tree with two-space indentation.
+func MarshalIndent(e *Element) []byte { return marshal(e, "  ") }
+
+func marshal(e *Element, indent string) []byte {
+	w := &writer{b: &bytes.Buffer{}, indent: indent, prefixes: map[string]string{}}
+	w.collect(e)
+	w.element(e, 0)
+	if indent != "" {
+		w.b.WriteByte('\n')
+	}
+	return w.b.Bytes()
+}
+
+// MarshalDocument serializes with a leading XML declaration.
+func MarshalDocument(e *Element) []byte {
+	return append([]byte(xml.Header), MarshalIndent(e)...)
+}
+
+// collect assigns a prefix to every namespace URI used in the tree.
+func (w *writer) collect(e *Element) {
+	e.walk(func(el *Element) {
+		w.assign(el.Name.Space)
+		for _, a := range el.Attrs {
+			w.assign(a.Name.Space)
+		}
+		// Honor explicit declarations so QNames in content keep resolving.
+		prefixes := make([]string, 0, len(el.nsDecls))
+		for p := range el.nsDecls {
+			prefixes = append(prefixes, p)
+		}
+		sort.Strings(prefixes)
+		for _, p := range prefixes {
+			uri := el.nsDecls[p]
+			if p == "" || uri == "" {
+				continue
+			}
+			if _, ok := w.prefixes[uri]; !ok && !w.prefixUsed(p) {
+				w.prefixes[uri] = p
+			}
+			w.assign(uri) // fallback prefix if the explicit one was taken
+		}
+	})
+}
+
+func (w *writer) assign(uri string) {
+	if uri == "" || uri == "http://www.w3.org/XML/1998/namespace" {
+		return
+	}
+	if _, ok := w.prefixes[uri]; ok {
+		return
+	}
+	if p, ok := PreferredPrefixes[uri]; ok && !w.prefixUsed(p) {
+		w.prefixes[uri] = p
+		return
+	}
+	for {
+		w.next++
+		p := fmt.Sprintf("ns%d", w.next)
+		if !w.prefixUsed(p) {
+			w.prefixes[uri] = p
+			return
+		}
+	}
+}
+
+func (w *writer) prefixUsed(p string) bool {
+	for _, used := range w.prefixes {
+		if used == p {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *writer) qname(n Name) string {
+	if n.Space == "" {
+		return n.Local
+	}
+	if n.Space == "http://www.w3.org/XML/1998/namespace" {
+		return "xml:" + n.Local
+	}
+	return w.prefixes[n.Space] + ":" + n.Local
+}
+
+func (w *writer) element(e *Element, depth int) {
+	if w.indent != "" && depth > 0 {
+		w.b.WriteByte('\n')
+		for i := 0; i < depth; i++ {
+			w.b.WriteString(w.indent)
+		}
+	}
+	w.b.WriteByte('<')
+	w.b.WriteString(w.qname(e.Name))
+	if depth == 0 {
+		// Declare every prefix on the root for a self-contained document.
+		uris := make([]string, 0, len(w.prefixes))
+		for uri := range w.prefixes {
+			uris = append(uris, uri)
+		}
+		sort.Strings(uris)
+		for _, uri := range uris {
+			fmt.Fprintf(w.b, ` xmlns:%s="%s"`, w.prefixes[uri], escapeAttr(uri))
+		}
+	}
+	for _, a := range e.Attrs {
+		fmt.Fprintf(w.b, ` %s="%s"`, w.qname(a.Name), escapeAttr(a.Value))
+	}
+	sig := significantChildren(e)
+	if len(sig) == 0 {
+		w.b.WriteString("/>")
+		return
+	}
+	w.b.WriteByte('>')
+	textOnly := true
+	for _, n := range sig {
+		if _, ok := n.(*Element); ok {
+			textOnly = false
+			break
+		}
+	}
+	for _, n := range sig {
+		switch n := n.(type) {
+		case Text:
+			w.b.WriteString(escapeText(string(n)))
+		case *Element:
+			w.element(n, depth+1)
+		}
+	}
+	if !textOnly && w.indent != "" {
+		w.b.WriteByte('\n')
+		for i := 0; i < depth; i++ {
+			w.b.WriteString(w.indent)
+		}
+	}
+	w.b.WriteString("</")
+	w.b.WriteString(w.qname(e.Name))
+	w.b.WriteByte('>')
+}
+
+func escapeText(s string) string {
+	var b bytes.Buffer
+	if err := xml.EscapeText(&b, []byte(s)); err != nil {
+		return s
+	}
+	return b.String()
+}
+
+func escapeAttr(s string) string {
+	r := strings.NewReplacer(`&`, "&amp;", `<`, "&lt;", `>`, "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// QNameValue renders name as a lexical QName for use in content, declaring
+// the needed prefix on scope if it is not already in scope. It returns the
+// lexical form ("pfx:local").
+func QNameValue(scope *Element, name Name) string {
+	if name.Space == "" {
+		return name.Local
+	}
+	if p, ok := scope.PrefixFor(name.Space); ok && p != "" {
+		return p + ":" + name.Local
+	}
+	p := PreferredPrefixes[name.Space]
+	if p == "" {
+		p = "q" + fmt.Sprintf("%d", len(scope.nsDecls)+1)
+	}
+	for {
+		if _, taken := scope.LookupPrefix(p); !taken {
+			break
+		}
+		p += "x"
+	}
+	scope.DeclarePrefix(p, name.Space)
+	return p + ":" + name.Local
+}

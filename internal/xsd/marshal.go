@@ -1,0 +1,225 @@
+package xsd
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"wspeer/internal/xmlutil"
+)
+
+// Marshalling follows document/literal conventions with
+// elementFormDefault="qualified": every element representing a value or a
+// struct field lives in the schema's target namespace. A nil pointer field
+// is omitted (minOccurs="0"); a slice field repeats its element
+// (maxOccurs="unbounded").
+
+// fieldName returns the element local name for a struct field, honouring a
+// leading name in the `xml` struct tag. It reports skip=true for fields
+// excluded from marshalling.
+func fieldName(f reflect.StructField) (name string, skip bool) {
+	if f.PkgPath != "" { // unexported
+		return "", true
+	}
+	tag := f.Tag.Get("xml")
+	if tag == "-" {
+		return "", true
+	}
+	if tag != "" {
+		if i := strings.IndexByte(tag, ','); i >= 0 {
+			tag = tag[:i]
+		}
+		if tag != "" {
+			return tag, false
+		}
+	}
+	return f.Name, false
+}
+
+// AppendValue appends the XML representation of v to parent as one or more
+// child elements named {ns}name.
+func AppendValue(parent *xmlutil.Element, ns, name string, v reflect.Value) error {
+	t := v.Type()
+
+	// []byte is a simple type, not a repeated element.
+	if t == bytesType || t == timeType {
+		s, err := EncodeSimple(v)
+		if err != nil {
+			return err
+		}
+		parent.NewChild(xmlutil.N(ns, name)).SetText(s)
+		return nil
+	}
+
+	switch t.Kind() {
+	case reflect.Ptr:
+		if v.IsNil() {
+			return nil // minOccurs="0"
+		}
+		return AppendValue(parent, ns, name, v.Elem())
+
+	case reflect.Interface:
+		if v.IsNil() {
+			return nil
+		}
+		return AppendValue(parent, ns, name, v.Elem())
+
+	case reflect.Slice, reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			if err := AppendValue(parent, ns, name, v.Index(i)); err != nil {
+				return fmt.Errorf("xsd: element %d of %s: %w", i, name, err)
+			}
+		}
+		return nil
+
+	case reflect.Struct:
+		el := parent.NewChild(xmlutil.N(ns, name))
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			fn, skip := fieldName(f)
+			if skip {
+				continue
+			}
+			if err := AppendValue(el, ns, fn, v.Field(i)); err != nil {
+				return fmt.Errorf("xsd: field %s.%s: %w", t.Name(), f.Name, err)
+			}
+		}
+		return nil
+
+	case reflect.Map, reflect.Chan, reflect.Func, reflect.UnsafePointer, reflect.Complex64, reflect.Complex128:
+		return fmt.Errorf("xsd: unsupported Go type %s", t)
+
+	default:
+		s, err := EncodeSimple(v)
+		if err != nil {
+			return err
+		}
+		parent.NewChild(xmlutil.N(ns, name)).SetText(s)
+		return nil
+	}
+}
+
+// ExtractValue decodes the child element(s) of parent named {ns}name into a
+// new Go value of type t. Missing optional values yield zero values (nil for
+// pointers and slices).
+func ExtractValue(parent *xmlutil.Element, ns, name string, t reflect.Type) (reflect.Value, error) {
+	qn := xmlutil.N(ns, name)
+
+	if t == bytesType || t == timeType {
+		el := childAnyNS(parent, qn)
+		if el == nil {
+			return reflect.Zero(t), nil
+		}
+		return DecodeSimple(el.TrimmedText(), t)
+	}
+
+	switch t.Kind() {
+	case reflect.Ptr:
+		if childAnyNS(parent, qn) == nil {
+			return reflect.Zero(t), nil
+		}
+		inner, err := ExtractValue(parent, ns, name, t.Elem())
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		p := reflect.New(t.Elem())
+		p.Elem().Set(inner)
+		return p, nil
+
+	case reflect.Slice:
+		els := childrenAnyNS(parent, qn)
+		out := reflect.MakeSlice(t, 0, len(els))
+		for i, el := range els {
+			item, err := decodeElement(el, ns, t.Elem())
+			if err != nil {
+				return reflect.Value{}, fmt.Errorf("xsd: element %d of %s: %w", i, name, err)
+			}
+			out = reflect.Append(out, item)
+		}
+		return out, nil
+
+	case reflect.Struct:
+		el := childAnyNS(parent, qn)
+		if el == nil {
+			return reflect.Zero(t), nil
+		}
+		return decodeElement(el, ns, t)
+
+	default:
+		el := childAnyNS(parent, qn)
+		if el == nil {
+			return reflect.Zero(t), nil
+		}
+		return decodeElement(el, ns, t)
+	}
+}
+
+// lexicalText extracts the element text to decode: strings keep their
+// whitespace exactly (it is significant in XML); other simple types use the
+// whitespace-collapsed lexical form.
+func lexicalText(el *xmlutil.Element, t reflect.Type) string {
+	if t.Kind() == reflect.String {
+		return el.Text()
+	}
+	return el.TrimmedText()
+}
+
+// decodeElement decodes a single element that directly represents a value of
+// type t (the element is already located).
+func decodeElement(el *xmlutil.Element, ns string, t reflect.Type) (reflect.Value, error) {
+	if t == bytesType || t == timeType {
+		return DecodeSimple(el.TrimmedText(), t)
+	}
+	switch t.Kind() {
+	case reflect.Ptr:
+		inner, err := decodeElement(el, ns, t.Elem())
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		p := reflect.New(t.Elem())
+		p.Elem().Set(inner)
+		return p, nil
+	case reflect.Struct:
+		v := reflect.New(t).Elem()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			fn, skip := fieldName(f)
+			if skip {
+				continue
+			}
+			fv, err := ExtractValue(el, ns, fn, f.Type)
+			if err != nil {
+				return reflect.Value{}, fmt.Errorf("xsd: field %s.%s: %w", t.Name(), f.Name, err)
+			}
+			v.Field(i).Set(fv)
+		}
+		return v, nil
+	case reflect.Slice, reflect.Array:
+		return reflect.Value{}, fmt.Errorf("xsd: nested slices are not supported (wrap the inner slice in a struct)")
+	default:
+		return DecodeSimple(lexicalText(el, t), t)
+	}
+}
+
+// childAnyNS finds a child by exact name, falling back to a local-name match
+// so that lenient peers (and hand-written envelopes) interoperate.
+func childAnyNS(parent *xmlutil.Element, qn xmlutil.Name) *xmlutil.Element {
+	if el := parent.Child(qn); el != nil {
+		return el
+	}
+	return parent.ChildLocal(qn.Local)
+}
+
+func childrenAnyNS(parent *xmlutil.Element, qn xmlutil.Name) []*xmlutil.Element {
+	els := parent.Children(qn)
+	if len(els) > 0 {
+		return els
+	}
+	var out []*xmlutil.Element
+	for _, el := range parent.Elements() {
+		if el.Name.Local == qn.Local {
+			out = append(out, el)
+		}
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package xsd
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"wspeer/internal/xmlutil"
+)
+
+// Schema accumulates element and complex-type declarations for one target
+// namespace and renders them as an <xsd:schema> element suitable for
+// embedding in a WSDL <types> section.
+//
+// The generator is driven by Go types: struct types become named
+// complexTypes, and operation wrappers (request/response elements) are
+// declared with AddElement.
+type Schema struct {
+	TargetNamespace string
+
+	elements []wrapperElement
+	types    map[string]reflect.Type // complexType name -> Go struct type
+}
+
+// Field is one named, typed member of a wrapper element's sequence.
+type Field struct {
+	Name string
+	Type reflect.Type
+}
+
+type wrapperElement struct {
+	name   string
+	fields []Field
+}
+
+// NewSchema returns an empty schema for the target namespace.
+func NewSchema(targetNamespace string) *Schema {
+	return &Schema{
+		TargetNamespace: targetNamespace,
+		types:           make(map[string]reflect.Type),
+	}
+}
+
+// AddElement declares a top-level element with an anonymous complexType
+// whose sequence holds the given fields, registering any struct types the
+// fields reference. This is how operation request/response wrappers are
+// declared.
+func (s *Schema) AddElement(name string, fields []Field) error {
+	for _, f := range fields {
+		if err := s.registerType(f.Type); err != nil {
+			return fmt.Errorf("xsd: element %s, field %s: %w", name, f.Name, err)
+		}
+	}
+	s.elements = append(s.elements, wrapperElement{name: name, fields: fields})
+	return nil
+}
+
+// HasElement reports whether a top-level element with the name is declared.
+func (s *Schema) HasElement(name string) bool {
+	for _, e := range s.elements {
+		if e.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// registerType walks a Go type, registering every named struct type it
+// reaches as a complexType.
+func (s *Schema) registerType(t reflect.Type) error {
+	if t == timeType || t == bytesType {
+		return nil
+	}
+	switch t.Kind() {
+	case reflect.Ptr, reflect.Slice, reflect.Array:
+		return s.registerType(t.Elem())
+	case reflect.Struct:
+		name := t.Name()
+		if name == "" {
+			return fmt.Errorf("anonymous struct types cannot be mapped to a named complexType")
+		}
+		if existing, ok := s.types[name]; ok {
+			if existing != t {
+				return fmt.Errorf("two distinct Go types both map to complexType %q (%v and %v)", name, existing, t)
+			}
+			return nil
+		}
+		s.types[name] = t
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if _, skip := fieldName(f); skip {
+				continue
+			}
+			if err := s.registerType(f.Type); err != nil {
+				return fmt.Errorf("field %s: %w", f.Name, err)
+			}
+		}
+		return nil
+	case reflect.Map, reflect.Chan, reflect.Func, reflect.Interface,
+		reflect.UnsafePointer, reflect.Complex64, reflect.Complex128:
+		return fmt.Errorf("unsupported Go type %s", t)
+	default:
+		if _, ok := SimpleTypeFor(t); !ok {
+			return fmt.Errorf("unsupported Go type %s", t)
+		}
+		return nil
+	}
+}
+
+// typeRef returns the QName to put in a type="" attribute for t, plus the
+// occurrence constraints implied by the Go type.
+func (s *Schema) typeRef(t reflect.Type) (ref xmlutil.Name, minOccurs, maxOccurs string, err error) {
+	minOccurs, maxOccurs = "1", "1"
+	if t == timeType || t == bytesType {
+		n, _ := SimpleTypeFor(t)
+		return n, minOccurs, maxOccurs, nil
+	}
+	switch t.Kind() {
+	case reflect.Ptr:
+		ref, _, _, err = s.typeRef(t.Elem())
+		return ref, "0", "1", err
+	case reflect.Slice, reflect.Array:
+		ref, _, _, err = s.typeRef(t.Elem())
+		return ref, "0", "unbounded", err
+	case reflect.Struct:
+		return xmlutil.N(s.TargetNamespace, t.Name()), minOccurs, maxOccurs, nil
+	default:
+		n, ok := SimpleTypeFor(t)
+		if !ok {
+			return xmlutil.Name{}, "", "", fmt.Errorf("xsd: unsupported Go type %s", t)
+		}
+		return n, minOccurs, maxOccurs, nil
+	}
+}
+
+// Element renders the schema.
+func (s *Schema) Element() (*xmlutil.Element, error) {
+	root := xmlutil.NewElement(xmlutil.N(Namespace, "schema"))
+	root.SetAttr(xmlutil.N("", "targetNamespace"), s.TargetNamespace)
+	root.SetAttr(xmlutil.N("", "elementFormDefault"), "qualified")
+	root.DeclarePrefix("tns", s.TargetNamespace)
+	root.DeclarePrefix("xsd", Namespace)
+
+	for _, we := range s.elements {
+		el := root.NewChild(xmlutil.N(Namespace, "element"))
+		el.SetAttr(xmlutil.N("", "name"), we.name)
+		ct := el.NewChild(xmlutil.N(Namespace, "complexType"))
+		if err := s.sequence(ct, we.fields); err != nil {
+			return nil, err
+		}
+	}
+
+	names := make([]string, 0, len(s.types))
+	for n := range s.types {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := s.types[name]
+		ct := root.NewChild(xmlutil.N(Namespace, "complexType"))
+		ct.SetAttr(xmlutil.N("", "name"), name)
+		var fields []Field
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			fn, skip := fieldName(f)
+			if skip {
+				continue
+			}
+			fields = append(fields, Field{Name: fn, Type: f.Type})
+		}
+		if err := s.sequence(ct, fields); err != nil {
+			return nil, err
+		}
+	}
+	return root, nil
+}
+
+func (s *Schema) sequence(parent *xmlutil.Element, fields []Field) error {
+	seq := parent.NewChild(xmlutil.N(Namespace, "sequence"))
+	for _, f := range fields {
+		ref, minOcc, maxOcc, err := s.typeRef(f.Type)
+		if err != nil {
+			return err
+		}
+		el := seq.NewChild(xmlutil.N(Namespace, "element"))
+		el.SetAttr(xmlutil.N("", "name"), f.Name)
+		el.SetAttr(xmlutil.N("", "type"), xmlutil.QNameValue(parent, ref))
+		if minOcc != "1" {
+			el.SetAttr(xmlutil.N("", "minOccurs"), minOcc)
+		}
+		if maxOcc != "1" {
+			el.SetAttr(xmlutil.N("", "maxOccurs"), maxOcc)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+// Package wspeer is a Go implementation of WSPeer, "an interface to Web
+// service hosting and invocation" (Harrison & Taylor, IPPS 2005).
+//
+// WSPeer sits between an application and the network, letting the
+// application act as a service-oriented peer — hosting, publishing,
+// discovering and invoking SOAP/WSDL services — over interchangeable
+// substrates. Two bindings ship with this implementation:
+//
+//   - the standard binding (NewHTTPBinding): container-less HTTP hosting,
+//     UDDI-style registry publication and discovery, HTTP/HTTPG invocation;
+//   - the P2PS binding (NewP2PSBinding): services exposed as unidirectional
+//     pipes on a peer-to-peer overlay, advertised with XML adverts carrying
+//     a WSDL "definition pipe", discovered by in-network queries, and made
+//     request/response-capable through WS-Addressing ReplyTo headers.
+//
+// Application code works exclusively with this package's types; swapping
+// or mixing bindings does not change it. See the examples/ directory for
+// runnable programs and DESIGN.md for the architecture.
+//
+// # Quick start
+//
+//	peer := wspeer.NewPeer()
+//	binding, _ := wspeer.NewHTTPBinding(wspeer.HTTPOptions{UDDIEndpoint: registryURL})
+//	binding.Attach(peer)
+//
+//	// Host: the application is its own container.
+//	dep, _ := peer.Server().DeployAndPublish(ctx, wspeer.ServiceDef{
+//		Name: "Echo",
+//		Operations: []wspeer.OperationDef{{
+//			Name: "echo", Func: func(s string) string { return s },
+//		}},
+//	})
+//
+//	// Consume: locate anywhere, invoke anything.
+//	info, _ := peer.Client().LocateOne(ctx, wspeer.NameQuery{Name: "Echo"})
+//	inv, _ := peer.Client().NewInvocation(info)
+//	res, _ := inv.Invoke(ctx, "echo", wspeer.P("in0", "hello"))
+package wspeer
+
+import (
+	"wspeer/internal/binding/httpbind"
+	"wspeer/internal/binding/p2psbind"
+	"wspeer/internal/core"
+	"wspeer/internal/engine"
+	"wspeer/internal/flow"
+	"wspeer/internal/p2ps"
+	"wspeer/internal/soap"
+	"wspeer/internal/transport"
+	"wspeer/internal/uddi"
+	"wspeer/internal/wsdl"
+)
+
+// The interface tree (paper Fig. 2).
+type (
+	// Peer is the root of the interface tree.
+	Peer = core.Peer
+	// Client is the consumer side of a peer.
+	Client = core.Client
+	// Server is the provider side of a peer.
+	Server = core.Server
+	// Invocation is a client-side handle on one located service.
+	Invocation = core.Invocation
+)
+
+// Queries, results and component descriptions.
+type (
+	// ServiceQuery abstracts over binding-specific queries.
+	ServiceQuery = core.ServiceQuery
+	// NameQuery queries on a service name (and optional attributes).
+	NameQuery = core.NameQuery
+	// ExprQuery queries with a rich predicate expression, e.g.
+	// "name like 'Echo*' and attr(kind) = 'echo'" (see internal/query).
+	ExprQuery = core.ExprQuery
+	// UDDIQuery adds UDDI category constraints (standard binding).
+	UDDIQuery = httpbind.UDDIQuery
+	// ServiceInfo describes a located service.
+	ServiceInfo = core.ServiceInfo
+	// Deployment describes a hosted service.
+	Deployment = core.Deployment
+	// P2PSURI is WSPeer's p2ps://peer/service#pipe endpoint reference.
+	P2PSURI = core.P2PSURI
+)
+
+// Pluggable component interfaces.
+type (
+	// ServiceLocator finds services.
+	ServiceLocator = core.ServiceLocator
+	// ServicePublisher makes deployments discoverable.
+	ServicePublisher = core.ServicePublisher
+	// ServiceDeployer exposes service definitions at endpoints.
+	ServiceDeployer = core.ServiceDeployer
+	// Invoker carries invocations to located services.
+	Invoker = core.Invoker
+)
+
+// Events (paper §III: the PeerMessageListener interface).
+type (
+	// PeerMessageListener receives all five event classes.
+	PeerMessageListener = core.PeerMessageListener
+	// ListenerFuncs adapts callbacks to PeerMessageListener.
+	ListenerFuncs = core.ListenerFuncs
+	// QueuedListener decouples slow listeners from protocol goroutines.
+	QueuedListener = core.QueuedListener
+	// DiscoveryEvent reports discovery progress.
+	DiscoveryEvent = core.DiscoveryEvent
+	// PublishEvent reports publications.
+	PublishEvent = core.PublishEvent
+	// ClientMessageEvent reports client-side exchanges.
+	ClientMessageEvent = core.ClientMessageEvent
+	// ServerMessageEvent reports raw server-side exchanges.
+	ServerMessageEvent = core.ServerMessageEvent
+	// DeploymentMessageEvent reports (un)deployments.
+	DeploymentMessageEvent = core.DeploymentMessageEvent
+)
+
+// Service definition and invocation payloads (messaging engine).
+type (
+	// ServiceDef declares a deployable service.
+	ServiceDef = engine.ServiceDef
+	// OperationDef declares one operation.
+	OperationDef = engine.OperationDef
+	// Param is one named invocation input.
+	Param = engine.Param
+	// Result is a decoded-on-demand invocation result.
+	Result = engine.Result
+	// Fault is a SOAP fault; it implements error.
+	Fault = soap.Fault
+	// Definitions is a parsed or generated WSDL document.
+	Definitions = wsdl.Definitions
+)
+
+// Bindings.
+type (
+	// HTTPBinding is the standard implementation (paper §IV-A).
+	HTTPBinding = httpbind.Binding
+	// HTTPOptions configures the standard binding.
+	HTTPOptions = httpbind.Options
+	// P2PSBinding is the P2PS implementation (paper §IV-B).
+	P2PSBinding = p2psbind.Binding
+	// P2PSOptions configures the P2PS binding.
+	P2PSOptions = p2psbind.Options
+	// P2PSPeer is the underlying peer-to-peer node.
+	P2PSPeer = p2ps.Peer
+	// P2PSConfig configures a P2PS node.
+	P2PSConfig = p2ps.Config
+	// P2PSTransport attaches a P2PS node to a network.
+	P2PSTransport = p2ps.Transport
+	// UDDIRegistry is the in-process registry (host it with uddid or
+	// embed it).
+	UDDIRegistry = uddi.Registry
+	// UDDIBusinessService is a registry record.
+	UDDIBusinessService = uddi.BusinessService
+	// UDDIBindingTemplate is one access point of a registry record.
+	UDDIBindingTemplate = uddi.BindingTemplate
+	// UDDIKeyedReference categorizes a record within a taxonomy.
+	UDDIKeyedReference = uddi.KeyedReference
+	// UDDITModel is a reusable technical model (taxonomy or interface
+	// fingerprint).
+	UDDITModel = uddi.TModel
+	// UDDIFindQuery selects registry records.
+	UDDIFindQuery = uddi.FindQuery
+	// UDDIClient invokes a remote registry service.
+	UDDIClient = uddi.Client
+)
+
+// NewUDDIClient returns a client for the registry service at endpoint,
+// using the HTTP transport.
+func NewUDDIClient(endpoint string) (*UDDIClient, error) {
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewHTTPTransport())
+	return uddi.NewClient(endpoint, reg)
+}
+
+// Workflow composition (the Triana capability, paper §V).
+type (
+	// Workflow is an executable DAG of service invocations.
+	Workflow = flow.Workflow
+	// WorkflowStep is one node of a workflow.
+	WorkflowStep = flow.Step
+	// WorkflowSource supplies one step input.
+	WorkflowSource = flow.Source
+	// WorkflowStepEvent reports a step's completion.
+	WorkflowStepEvent = flow.StepEvent
+)
+
+// NewWorkflow returns an empty workflow.
+func NewWorkflow(name string) *Workflow { return flow.New(name) }
+
+// ConstInput supplies a fixed workflow input.
+func ConstInput(v interface{}) WorkflowSource { return flow.Const(v) }
+
+// StepOutput wires a prior step's result part into an input; proto is a
+// value of the expected Go type.
+func StepOutput(step, part string, proto interface{}) WorkflowSource {
+	return flow.Output(step, part, proto)
+}
+
+// NewPeer returns a peer with empty client and server sides; attach one or
+// more bindings to populate them.
+func NewPeer() *Peer { return core.NewPeer() }
+
+// P constructs a named invocation parameter.
+func P(name string, value interface{}) Param { return engine.P(name, value) }
+
+// NewQueuedListener wraps a listener with an event queue so slow consumers
+// do not block protocol goroutines.
+func NewQueuedListener(inner PeerMessageListener, capacity int) *QueuedListener {
+	return core.NewQueuedListener(inner, capacity)
+}
+
+// NewHTTPBinding builds the standard (HTTP/UDDI) binding.
+func NewHTTPBinding(opts HTTPOptions) (*HTTPBinding, error) { return httpbind.New(opts) }
+
+// NewP2PSBinding builds the P2PS binding over an existing P2PS peer.
+func NewP2PSBinding(opts P2PSOptions) (*P2PSBinding, error) { return p2psbind.New(opts) }
+
+// NewP2PSPeer creates a P2PS node.
+func NewP2PSPeer(cfg P2PSConfig) (*P2PSPeer, error) { return p2ps.NewPeer(cfg) }
+
+// NewTCPP2PSPeer creates a P2PS node listening on a TCP address
+// ("127.0.0.1:0" for ephemeral), attached to the given seed rendezvous.
+func NewTCPP2PSPeer(listen string, rendezvous bool, seeds ...string) (*P2PSPeer, error) {
+	tr, err := p2ps.NewTCPTransport(listen)
+	if err != nil {
+		return nil, err
+	}
+	return p2ps.NewPeer(p2ps.Config{Transport: tr, Rendezvous: rendezvous, Seeds: seeds})
+}
+
+// NewTCPTransport creates a TCP transport for a P2PS node, for use with
+// NewP2PSPeer and a full P2PSConfig.
+func NewTCPTransport(listen string) (P2PSTransport, error) {
+	return p2ps.NewTCPTransport(listen)
+}
+
+// NewUDDIRegistry returns an empty in-process registry.
+func NewUDDIRegistry() *UDDIRegistry { return uddi.NewRegistry() }
+
+// UDDIServiceDef exposes a registry as a deployable WSPeer service, so a
+// registry node is itself just another WSPeer-hosted service.
+func UDDIServiceDef(r *UDDIRegistry) ServiceDef { return uddi.ServiceDef(r) }
+
+// ParseP2PSURI parses a p2ps:// endpoint URI.
+func ParseP2PSURI(s string) (P2PSURI, error) { return core.ParseP2PSURI(s) }
+
+// ServiceFromObject exposes every exported method of obj as an operation —
+// the paper's stateful-object service (§III point 3).
+func ServiceFromObject(name string, obj interface{}) (ServiceDef, error) {
+	return engine.FromObject(name, obj)
+}

@@ -1,0 +1,210 @@
+package wspeer_test
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"wspeer"
+	"wspeer/internal/engine"
+	"wspeer/internal/httpd"
+	"wspeer/internal/p2ps"
+)
+
+// startRegistry hosts a UDDI registry over real HTTP.
+func startRegistry(t *testing.T) string {
+	t.Helper()
+	host := httpd.New(engine.New(), httpd.Options{})
+	t.Cleanup(func() { host.Close() })
+	endpoint, err := host.Deploy(wspeer.UDDIServiceDef(wspeer.NewUDDIRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return endpoint
+}
+
+func echoDef(name, tag string) wspeer.ServiceDef {
+	return wspeer.ServiceDef{
+		Name: name,
+		Operations: []wspeer.OperationDef{{
+			Name:       "echo",
+			Func:       func(s string) string { return tag + ":" + s },
+			ParamNames: []string{"msg"},
+		}},
+	}
+}
+
+// TestCrossFertilisation is the paper's thesis as a test: one consumer
+// peer, with both bindings attached, locates services hosted on the
+// client/server substrate (HTTP + UDDI) and on the P2P substrate (P2PS
+// pipes) with the same query, and invokes both through the same API.
+func TestCrossFertilisation(t *testing.T) {
+	ctx := context.Background()
+	registryURL := startRegistry(t)
+	overlay := p2ps.NewLocalNetwork()
+	rdv, err := p2ps.NewPeer(p2ps.Config{Transport: overlay.NewEndpoint(), Rendezvous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rdv.Close() })
+
+	// Provider 1: standard implementation.
+	httpProvider := wspeer.NewPeer()
+	hb, err := wspeer.NewHTTPBinding(wspeer.HTTPOptions{UDDIEndpoint: registryURL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hb.Close() })
+	hb.Attach(httpProvider)
+	if _, err := httpProvider.Server().DeployAndPublish(ctx, echoDef("EchoHTTP", "http")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Provider 2: P2PS implementation.
+	p2pProviderNode, err := wspeer.NewP2PSPeer(wspeer.P2PSConfig{
+		Transport: overlay.NewEndpoint(), Seeds: []string{rdv.Addr()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p2pProviderNode.Close() })
+	p2pProvider := wspeer.NewPeer()
+	pb, err := wspeer.NewP2PSBinding(wspeer.P2PSOptions{Peer: p2pProviderNode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb.Attach(p2pProvider)
+	if _, err := p2pProvider.Server().DeployAndPublish(ctx, echoDef("EchoP2PS", "p2ps")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Consumer: BOTH bindings on one peer — UDDI locator + p2ps locator,
+	// HTTP invoker + pipe invoker.
+	consumerNode, err := wspeer.NewP2PSPeer(wspeer.P2PSConfig{
+		Transport: overlay.NewEndpoint(), Seeds: []string{rdv.Addr()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { consumerNode.Close() })
+	consumer := wspeer.NewPeer()
+	chb, err := wspeer.NewHTTPBinding(wspeer.HTTPOptions{UDDIEndpoint: registryURL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { chb.Close() })
+	chb.Attach(consumer)
+	cpb, err := wspeer.NewP2PSBinding(wspeer.P2PSOptions{
+		Peer: consumerNode, DiscoveryTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpb.Attach(consumer)
+
+	// One wildcard query spans both worlds.
+	var infos []*wspeer.ServiceInfo
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		infos, err = consumer.Client().Locate(ctx, wspeer.NameQuery{Name: "Echo*"})
+		if err == nil && len(infos) >= 2 {
+			break
+		}
+	}
+	if len(infos) < 2 {
+		t.Fatalf("expected both providers, got %d (%v)", len(infos), err)
+	}
+	var locators []string
+	for _, info := range infos {
+		locators = append(locators, info.Locator)
+	}
+	sort.Strings(locators)
+	if locators[0] != "p2ps" || locators[len(locators)-1] != "uddi" {
+		t.Fatalf("locators = %v", locators)
+	}
+
+	// Invoke each through the identical API; the scheme routes the
+	// invoker.
+	for _, info := range infos {
+		inv, err := consumer.Client().NewInvocation(info)
+		if err != nil {
+			t.Fatalf("%s: %v", info.Name, err)
+		}
+		res, err := inv.Invoke(ctx, "echo", wspeer.P("msg", "x"))
+		if err != nil {
+			t.Fatalf("%s: %v", info.Name, err)
+		}
+		got, err := res.String("return")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTag := "http"
+		if strings.HasPrefix(info.Endpoint, "p2ps://") {
+			wantTag = "p2ps"
+		}
+		if got != wantTag+":x" {
+			t.Fatalf("%s returned %q", info.Name, got)
+		}
+	}
+}
+
+func TestStatefulObjectAsService(t *testing.T) {
+	ctx := context.Background()
+	peer := wspeer.NewPeer()
+	b, err := wspeer.NewHTTPBinding(wspeer.HTTPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	b.Attach(peer)
+
+	acc := &Accumulator{}
+	def, err := wspeer.ServiceFromObject("Accumulator", acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := peer.Server().Deploy(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &wspeer.ServiceInfo{Name: "Accumulator", Endpoint: dep.Endpoint, Definitions: dep.Definitions}
+	inv, err := peer.Client().NewInvocation(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := inv.Invoke(ctx, "Add", wspeer.P("in0", int64(5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := inv.Invoke(ctx, "Total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	if err := res.Decode("return", &total); err != nil || total != 15 {
+		t.Fatalf("total = %d, %v", total, err)
+	}
+	// The live object shares the state.
+	if acc.Total() != 15 {
+		t.Fatalf("object state = %d", acc.Total())
+	}
+}
+
+// Accumulator is a stateful object exposed as a service.
+type Accumulator struct{ sum int64 }
+
+// Add adds to the accumulator and returns the new total.
+func (a *Accumulator) Add(v int64) int64 { a.sum += v; return a.sum }
+
+// Total returns the current total.
+func (a *Accumulator) Total() int64 { return a.sum }
+
+func TestParseP2PSURIFacade(t *testing.T) {
+	u, err := wspeer.ParseP2PSURI("p2ps://p1/Echo#requests")
+	if err != nil || u.Peer != "p1" || u.Service != "Echo" || u.Pipe != "requests" {
+		t.Fatalf("%+v, %v", u, err)
+	}
+}
