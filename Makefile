@@ -1,11 +1,17 @@
 # WSPeer build targets. Everything is stdlib-only Go; these are
-# conveniences, not requirements.
+# conveniences, not requirements. `make check` is the pre-commit gate:
+# it vets and runs the full test suite under the race detector.
 
 GO ?= go
 
-.PHONY: all build vet test race bench harness examples loc clean
+.PHONY: all build vet test race bench harness examples loc clean check
 
 all: build vet test
+
+# The pre-commit gate: static analysis plus the racy test suite.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

@@ -18,6 +18,7 @@ import (
 	"wspeer/internal/flow"
 	"wspeer/internal/httpd"
 	"wspeer/internal/p2ps"
+	"wspeer/internal/pipeline"
 	"wspeer/internal/query"
 	"wspeer/internal/soap"
 	"wspeer/internal/transport"
@@ -545,4 +546,67 @@ func (i benchMemInvoker) Invoke(ctx context.Context, svc *core.ServiceInfo, op s
 	stub := engine.NewStub(svc.Definitions, i.reg)
 	stub.EndpointOverride = svc.Endpoint
 	return stub.Invoke(ctx, op, params...)
+}
+
+// BenchmarkPipelineOverhead: per-call cost of the unified call pipeline.
+// "bare" is a direct in-memory transport call; "stack" pushes the same
+// call through the full stock interceptor set (Events + CallStats +
+// Deadline + Retry), so the delta is the pipeline's overhead.
+func BenchmarkPipelineOverhead(b *testing.B) {
+	net := transport.NewInMemNetwork()
+	net.Register("mem://h/Echo", transport.HandlerFunc(func(ctx context.Context, req *transport.Request) (*transport.Response, error) {
+		return &transport.Response{Body: req.Body}, nil
+	}))
+	tr := net.Transport()
+	ctx := context.Background()
+	body := []byte("<echo/>")
+	terminal := func(c *pipeline.Call) error {
+		resp, err := tr.Call(c.Ctx, c.Request)
+		if err != nil {
+			return err
+		}
+		c.Response = resp
+		return nil
+	}
+
+	b.Run("bare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req := &transport.Request{Endpoint: "mem://h/Echo", Body: body}
+			if _, err := tr.Call(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("stack", func(b *testing.B) {
+		stats := pipeline.NewCallStats()
+		chain := pipeline.NewChain(
+			pipeline.Events(func(c *pipeline.Call) {}),
+			stats.Interceptor(),
+			pipeline.Deadline(time.Minute),
+			pipeline.Retry(pipeline.RetryOptions{}),
+		)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := &pipeline.Call{
+				Ctx:     ctx,
+				Dir:     pipeline.ClientCall,
+				Service: "Echo",
+				Request: &transport.Request{Endpoint: "mem://h/Echo", Body: body},
+			}
+			if err := chain.Run(c, terminal); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		snap := stats.Snapshot()
+		if len(snap) != 1 || snap[0].Calls != int64(b.N) || snap[0].Failures != 0 {
+			b.Fatalf("stats snapshot: %+v", snap)
+		}
+		if snap[0].TotalLatency <= 0 || snap[0].Mean() <= 0 {
+			b.Fatalf("no latency recorded: %+v", snap[0])
+		}
+	})
 }

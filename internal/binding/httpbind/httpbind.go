@@ -17,6 +17,7 @@ import (
 	"wspeer/internal/core"
 	"wspeer/internal/engine"
 	"wspeer/internal/httpd"
+	"wspeer/internal/pipeline"
 	"wspeer/internal/query"
 	"wspeer/internal/transport"
 	"wspeer/internal/uddi"
@@ -39,6 +40,9 @@ type Options struct {
 	// Registry supplies the client-side transports (a registry with HTTP —
 	// and HTTPG when Secret is set — when nil).
 	Registry *transport.Registry
+	// ShutdownTimeout bounds how long closing the HTTP host waits for
+	// in-flight requests (default 2s; see httpd.Options).
+	ShutdownTimeout time.Duration
 }
 
 // Binding bundles the standard implementation's components.
@@ -50,6 +54,12 @@ type Binding struct {
 
 	mu         sync.Mutex
 	categories map[string][]uddi.KeyedReference
+	corePeer   *core.Peer
+
+	// eventsOnce guards the engine-pipeline Events installation so
+	// re-attaching the binding retargets events instead of duplicating
+	// the interceptor.
+	eventsOnce sync.Once
 }
 
 // New builds the binding. The HTTP host starts lazily on first deployment.
@@ -68,9 +78,10 @@ func New(opts Options) (*Binding, error) {
 		eng: opts.Engine,
 		reg: opts.Registry,
 		host: httpd.New(opts.Engine, httpd.Options{
-			ListenAddr: opts.ListenAddr,
-			Profile:    opts.Profile,
-			Secret:     opts.Secret,
+			ListenAddr:      opts.ListenAddr,
+			Profile:         opts.Profile,
+			Secret:          opts.Secret,
+			ShutdownTimeout: opts.ShutdownTimeout,
 		}),
 		categories: make(map[string][]uddi.KeyedReference),
 	}
@@ -96,7 +107,7 @@ func (b *Binding) Registry() *transport.Registry { return b.reg }
 // Attach wires the binding's components into a WSPeer peer: deployer and
 // invoker always; locator and publisher when a UDDI endpoint is
 // configured. Server-side raw exchanges are forwarded as
-// ServerMessageEvents.
+// ServerMessageEvents from the engine pipeline's Events choke point.
 func (b *Binding) Attach(p *core.Peer) {
 	p.Server().SetDeployer(b.Deployer())
 	p.Client().RegisterInvoker(b.Invoker())
@@ -104,10 +115,26 @@ func (b *Binding) Attach(p *core.Peer) {
 		p.Server().AddPublisher(b.Publisher())
 		p.Client().AddLocator(b.Locator())
 	}
-	b.host.SetObserver(func(service string, req *transport.Request, resp *transport.Response) {
-		p.FireServerMessage(service, req, resp)
+	b.mu.Lock()
+	b.corePeer = p
+	b.mu.Unlock()
+	b.eventsOnce.Do(func() {
+		b.eng.Use(pipeline.Events(func(c *pipeline.Call) {
+			b.mu.Lock()
+			peer := b.corePeer
+			b.mu.Unlock()
+			if peer != nil {
+				peer.FireServerMessage(c.Service, c.Request, c.Response)
+			}
+		}))
 	})
 }
+
+// Use installs server-side pipeline interceptors on the binding's engine:
+// every hosted request — HTTP-posted or served through any other host
+// sharing the engine — flows through them. Client-side interceptors
+// belong on the peer's Client (core.Client.Use).
+func (b *Binding) Use(ics ...pipeline.Interceptor) { b.eng.Use(ics...) }
 
 // Close shuts the HTTP host down.
 func (b *Binding) Close() error { return b.host.Close() }
@@ -393,4 +420,30 @@ func (i invoker) Invoke(ctx context.Context, svc *core.ServiceInfo, op string, p
 	stub := engine.NewStub(svc.Definitions, i.b.reg)
 	stub.EndpointOverride = svc.Endpoint
 	return stub.Invoke(ctx, op, params...)
+}
+
+// InvokeCall implements core.CallInvoker: the same dynamic-stub exchange,
+// but with the serialized request and raw response published on the
+// pipeline carrier so client interceptors see the wire-level messages and
+// the terminal stage is visibly the scheme-selected transport.
+func (i invoker) InvokeCall(c *pipeline.Call, svc *core.ServiceInfo, op string, params []engine.Param) (*engine.Result, error) {
+	if svc.Definitions == nil {
+		return nil, fmt.Errorf("httpbind: service %q has no definitions", svc.Name)
+	}
+	stub := engine.NewStub(svc.Definitions, i.b.reg)
+	stub.EndpointOverride = svc.Endpoint
+	req, det, err := stub.BuildRequest(op, params...)
+	if err != nil {
+		return nil, err
+	}
+	c.Request = req
+	resp, err := i.b.reg.Call(c.Ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	c.Response = resp
+	if det.Operation.OneWay() {
+		return nil, nil
+	}
+	return engine.DecodeResponse(resp.Body, det)
 }

@@ -9,6 +9,7 @@ import (
 	"wspeer/internal/core"
 	"wspeer/internal/engine"
 	"wspeer/internal/p2ps"
+	"wspeer/internal/pipeline"
 	"wspeer/internal/soap"
 	"wspeer/internal/transport"
 	"wspeer/internal/wsaddr"
@@ -54,6 +55,11 @@ type Binding struct {
 	deployed    map[string]*deployedService
 	advertAttrs map[string]map[string]string
 	corePeer    *core.Peer
+
+	// eventsOnce guards the engine-pipeline Events installation so
+	// re-attaching the binding retargets events instead of duplicating
+	// the interceptor.
+	eventsOnce sync.Once
 
 	// Duplicate suppression: requests are retransmitted on loss, so each
 	// deployed service remembers recent MessageIDs and their responses.
@@ -111,25 +117,34 @@ func (b *Binding) Peer() *p2ps.Peer { return b.pp }
 // Engine exposes the underlying messaging engine.
 func (b *Binding) Engine() *engine.Engine { return b.eng }
 
-// Attach wires the binding's components into a WSPeer peer.
+// Attach wires the binding's components into a WSPeer peer. Server-side
+// raw exchanges are forwarded as ServerMessageEvents from the engine
+// pipeline's Events choke point.
 func (b *Binding) Attach(p *core.Peer) {
 	b.mu.Lock()
 	b.corePeer = p
 	b.mu.Unlock()
+	b.eventsOnce.Do(func() {
+		b.eng.Use(pipeline.Events(func(c *pipeline.Call) {
+			b.mu.Lock()
+			peer := b.corePeer
+			b.mu.Unlock()
+			if peer != nil {
+				peer.FireServerMessage(c.Service, c.Request, c.Response)
+			}
+		}))
+	})
 	p.Server().SetDeployer(b.Deployer())
 	p.Server().AddPublisher(b.Publisher())
 	p.Client().AddLocator(b.Locator())
 	p.Client().RegisterInvoker(b.Invoker())
 }
 
-func (b *Binding) fireServer(service string, req *transport.Request, resp *transport.Response) {
-	b.mu.Lock()
-	p := b.corePeer
-	b.mu.Unlock()
-	if p != nil {
-		p.FireServerMessage(service, req, resp)
-	}
-}
+// Use installs server-side pipeline interceptors on the binding's engine:
+// every request arriving down a deployed service's pipe flows through
+// them before dispatch. Client-side interceptors belong on the peer's
+// Client (core.Client.Use).
+func (b *Binding) Use(ics ...pipeline.Interceptor) { b.eng.Use(ics...) }
 
 // ---------------------------------------------------------------------------
 // Deployer
@@ -278,7 +293,6 @@ func (b *Binding) handleRequest(ds *deployedService, data []byte) {
 			Faulted: true,
 		}
 	}
-	b.fireServer(ds.name, req, resp)
 	if len(resp.Body) == 0 {
 		return // one-way; the dedup entry stays nil so duplicates are dropped
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"wspeer/internal/engine"
+	"wspeer/internal/pipeline"
 	"wspeer/internal/wsdl"
 )
 
@@ -133,6 +134,19 @@ type Invoker interface {
 	// Invoke calls an operation; a nil result with nil error signals a
 	// one-way operation.
 	Invoke(ctx context.Context, svc *ServiceInfo, op string, params []engine.Param) (*engine.Result, error)
+}
+
+// CallInvoker is an optional Invoker extension for wire-aware invokers.
+// The client pipeline prefers InvokeCall when available: the invoker runs
+// under the carrier's (possibly interceptor-derived) context c.Ctx and
+// publishes its wire-level exchange on c.Request/c.Response, so
+// interceptors like CallStats and Events see the actual bytes moved by
+// the scheme-selected transport.
+type CallInvoker interface {
+	Invoker
+	// InvokeCall behaves like Invoke but reads its context from, and
+	// records the exchange on, the pipeline carrier.
+	InvokeCall(c *pipeline.Call, svc *ServiceInfo, op string, params []engine.Param) (*engine.Result, error)
 }
 
 // ErrNoLocator is returned when a Client has no locator registered.

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"wspeer/internal/engine"
+	"wspeer/internal/pipeline"
 	"wspeer/internal/transport"
 )
 
@@ -24,6 +25,18 @@ type Peer struct {
 func NewPeer() *Peer {
 	p := &Peer{}
 	p.client = &Client{peer: p, invokers: make(map[string]Invoker)}
+	// ClientMessageEvents fire from the pipeline's Events choke point:
+	// installed first, it sits outermost, so later-installed interceptors
+	// (Retry in particular) produce one event per logical invocation.
+	p.client.chain = pipeline.NewChain(pipeline.Events(func(c *pipeline.Call) {
+		res, _ := c.GetMeta(MetaResult).(*engine.Result)
+		p.bus.fireClient(ClientMessageEvent{
+			Service:   c.Service,
+			Operation: c.Op,
+			Result:    res,
+			Err:       c.Err,
+		})
+	}))
 	p.server = &Server{peer: p, deployments: make(map[string]*Deployment), published: make(map[string][]publication)}
 	return p
 }
@@ -57,10 +70,25 @@ func (p *Peer) FireServerMessage(service string, req *transport.Request, resp *t
 type Client struct {
 	peer *Peer
 
+	// chain is the client-side call pipeline: every Invocation made
+	// through this client flows application → interceptors → invoker →
+	// scheme-selected transport. NewPeer preloads it with the Events
+	// choke point.
+	chain *pipeline.Chain
+
 	mu       sync.RWMutex
 	locators []ServiceLocator
 	invokers map[string]Invoker // by endpoint scheme
 }
+
+// Use installs client-side pipeline interceptors (Deadline, Retry,
+// CallStats, or custom ones) around every invocation made through this
+// client, existing Invocations included. Earlier-installed interceptors
+// run outermost.
+func (c *Client) Use(ics ...pipeline.Interceptor) { c.chain.Use(ics...) }
+
+// Pipeline exposes the client-side interceptor chain.
+func (c *Client) Pipeline() *pipeline.Chain { return c.chain }
 
 // AddLocator registers a locator. Multiple locators can coexist — e.g. a
 // P2PS peer using the UDDI locator alongside advert discovery (paper §IV:
@@ -185,17 +213,34 @@ type Invocation struct {
 // Service returns the target service.
 func (inv *Invocation) Service() *ServiceInfo { return inv.svc }
 
-// Invoke calls an operation synchronously. The exchange is also reported
-// as a ClientMessageEvent.
+// MetaResult is the pipeline Meta key under which the client terminal
+// publishes the invocation's decoded *engine.Result for observing
+// interceptors (the Events choke point reads it to build
+// ClientMessageEvents).
+const MetaResult = "core.result"
+
+// Invoke calls an operation synchronously through the client's call
+// pipeline; the terminal stage is the scheme-selected invoker (and, for
+// wire-aware invokers, the transport its exchange rides on). The exchange
+// is reported as a ClientMessageEvent from the pipeline's Events stage.
 func (inv *Invocation) Invoke(ctx context.Context, op string, params ...engine.Param) (*engine.Result, error) {
-	res, err := inv.invoker.Invoke(ctx, inv.svc, op, params)
-	inv.client.peer.bus.fireClient(ClientMessageEvent{
-		Service:   inv.svc.Name,
-		Operation: op,
-		Result:    res,
-		Err:       err,
+	c := &pipeline.Call{Ctx: ctx, Dir: pipeline.ClientCall, Service: inv.svc.Name, Op: op}
+	var res *engine.Result
+	err := inv.client.chain.Run(c, func(c *pipeline.Call) error {
+		res = nil // a retried attempt must not leak its predecessor's result
+		var err error
+		if ci, ok := inv.invoker.(CallInvoker); ok {
+			res, err = ci.InvokeCall(c, inv.svc, op, params)
+		} else {
+			res, err = inv.invoker.Invoke(c.Ctx, inv.svc, op, params)
+		}
+		c.SetMeta(MetaResult, res)
+		return err
 	})
-	return res, err
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // InvokeAsync calls an operation without blocking; the outcome arrives at

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 
+	"wspeer/internal/pipeline"
 	"wspeer/internal/soap"
 	"wspeer/internal/transport"
 	"wspeer/internal/wsaddr"
@@ -47,7 +48,9 @@ func (c ChainFunc) Name() string { return c.ChainName }
 func (c ChainFunc) Handle(mc *MessageContext) error { return c.Func(mc) }
 
 // AddInHandler appends a handler to the inbound chain (runs after parsing,
-// before dispatch).
+// before dispatch). The handler executes as a pipeline interceptor ahead
+// of the operation; the ChainHandler API is a thin adapter over the
+// unified call pipeline (see inHandlerInterceptor).
 func (e *Engine) AddInHandler(h ChainHandler) {
 	e.chainMu.Lock()
 	defer e.chainMu.Unlock()
@@ -55,7 +58,8 @@ func (e *Engine) AddInHandler(h ChainHandler) {
 }
 
 // AddOutHandler appends a handler to the outbound chain (runs after the
-// operation, before serialization).
+// operation, before serialization), adapted onto the pipeline like
+// AddInHandler.
 func (e *Engine) AddOutHandler(h ChainHandler) {
 	e.chainMu.Lock()
 	defer e.chainMu.Unlock()
@@ -68,6 +72,53 @@ func (e *Engine) chains() (in, out []ChainHandler) {
 	return append([]ChainHandler(nil), e.inChain...), append([]ChainHandler(nil), e.outChain...)
 }
 
+// MetaMessageContext is the pipeline Meta key under which dispatch
+// publishes its MessageContext, giving wire-level interceptors access to
+// the parsed envelopes after the terminal has run.
+const MetaMessageContext = "engine.messageContext"
+
+// MessageContextOf extracts the dispatch MessageContext from a pipeline
+// call (nil before dispatch has reached the service).
+func MessageContextOf(c *pipeline.Call) *MessageContext {
+	mc, _ := c.GetMeta(MetaMessageContext).(*MessageContext)
+	return mc
+}
+
+// inHandlerInterceptor adapts an inbound ChainHandler onto the pipeline:
+// the handler runs before the next stage, and its error aborts processing
+// exactly as the pre-pipeline chain runner did.
+func inHandlerInterceptor(h ChainHandler) pipeline.Interceptor {
+	return func(next pipeline.CallFunc) pipeline.CallFunc {
+		return func(c *pipeline.Call) error {
+			if err := h.Handle(MessageContextOf(c)); err != nil {
+				return soap.ServerFault(fmt.Errorf("in handler %q: %w", h.Name(), err))
+			}
+			return next(c)
+		}
+	}
+}
+
+// outHandlerInterceptor adapts an outbound ChainHandler onto the
+// pipeline: the handler runs after the operation has produced a response
+// envelope (never for one-way operations or faults).
+func outHandlerInterceptor(h ChainHandler) pipeline.Interceptor {
+	return func(next pipeline.CallFunc) pipeline.CallFunc {
+		return func(c *pipeline.Call) error {
+			if err := next(c); err != nil {
+				return err
+			}
+			mc := MessageContextOf(c)
+			if mc == nil || mc.Response == nil {
+				return nil // one-way: nothing for the out chain to see
+			}
+			if err := h.Handle(mc); err != nil {
+				return soap.ServerFault(fmt.Errorf("out handler %q: %w", h.Name(), err))
+			}
+			return nil
+		}
+	}
+}
+
 // Handler returns the transport-facing handler for one deployed service.
 func (e *Engine) Handler(serviceName string) transport.Handler {
 	return transport.HandlerFunc(func(ctx context.Context, req *transport.Request) (*transport.Response, error) {
@@ -75,13 +126,31 @@ func (e *Engine) Handler(serviceName string) transport.Handler {
 	})
 }
 
-// ServeRequest processes one SOAP request for the named service. SOAP-level
-// problems are returned as fault envelopes with a nil error; only
-// transport-level breakage yields a Go error. One-way requests produce an
-// empty response.
+// ServeRequest processes one SOAP request for the named service through
+// the server pipeline: interceptors installed with Use wrap the parse /
+// handler-chain / dispatch terminal. SOAP-level problems are returned as
+// fault envelopes with a nil error; only transport-level breakage — or an
+// interceptor refusing the call — yields a Go error. One-way requests
+// produce an empty response.
 func (e *Engine) ServeRequest(ctx context.Context, serviceName string, req *transport.Request) (*transport.Response, error) {
+	c := &pipeline.Call{
+		Ctx:     ctx,
+		Dir:     pipeline.ServerDispatch,
+		Service: serviceName,
+		Request: req,
+	}
+	if err := e.pipe.Run(c, e.serveCall); err != nil {
+		return nil, err
+	}
+	return c.Response, nil
+}
+
+// serveCall is the server pipeline's terminal: parse, run the handler
+// chains and the operation, encode. It fills c.Response (faults included)
+// and reserves the error return for the pipeline above it.
+func (e *Engine) serveCall(c *pipeline.Call) error {
 	e.nRequests.Add(1)
-	env, fault := e.parseAndCheck(req)
+	env, fault := e.parseAndCheck(c.Request)
 	version := soap.SOAP11
 	if env != nil {
 		version = env.Version() // answer in the caller's SOAP version
@@ -89,22 +158,24 @@ func (e *Engine) ServeRequest(ctx context.Context, serviceName string, req *tran
 	var respEnv *soap.Envelope
 	var oneWay bool
 	if fault == nil {
-		respEnv, fault = e.dispatch(ctx, serviceName, env)
+		respEnv, fault = e.dispatch(c, env)
 		oneWay = fault == nil && respEnv == nil
 	}
 	if oneWay {
 		e.nOneWay.Add(1)
-		return &transport.Response{}, nil
+		c.Response = &transport.Response{}
+		return nil
 	}
 	if fault != nil {
 		e.nFaults.Add(1)
 		respEnv = soap.NewEnvelopeV(version).SetFault(fault)
 	}
-	return &transport.Response{
+	c.Response = &transport.Response{
 		ContentType: version.ContentType(),
 		Body:        respEnv.Marshal(),
 		Faulted:     respEnv.IsFault(),
-	}, nil
+	}
+	return nil
 }
 
 func (e *Engine) parseAndCheck(req *transport.Request) (*soap.Envelope, *soap.Fault) {
@@ -132,9 +203,13 @@ func (e *Engine) parseAndCheck(req *transport.Request) (*soap.Envelope, *soap.Fa
 	return env, nil
 }
 
-// dispatch runs the chains and the operation. A nil, nil return means the
-// operation was one-way and produced no response.
-func (e *Engine) dispatch(ctx context.Context, serviceName string, env *soap.Envelope) (*soap.Envelope, *soap.Fault) {
+// dispatch runs the handler chains and the operation as an envelope-level
+// pipeline over the same Call carrier: in-handlers wrap ahead of the
+// operation terminal, out-handlers behind it, both in registration order.
+// A nil, nil return means the operation was one-way and produced no
+// response.
+func (e *Engine) dispatch(c *pipeline.Call, env *soap.Envelope) (*soap.Envelope, *soap.Fault) {
+	serviceName := c.Service
 	svc := e.Service(serviceName)
 	if svc == nil {
 		return nil, soap.NewFault(soap.FaultClient, "no such service %q", serviceName)
@@ -147,43 +222,50 @@ func (e *Engine) dispatch(ctx context.Context, serviceName string, env *soap.Env
 	if !ok {
 		return nil, soap.NewFault(soap.FaultClient, "service %q has no operation %q", serviceName, body.Name.Local)
 	}
+	c.Op = op.name
 
 	mc := &MessageContext{
-		Ctx:       ctx,
+		Ctx:       c.Ctx,
 		Service:   serviceName,
 		Operation: op.name,
 		Request:   env,
 		Props:     make(map[string]interface{}),
 	}
+	c.SetMeta(MetaMessageContext, mc)
+
 	in, out := e.chains()
+	ics := make([]pipeline.Interceptor, 0, len(in)+len(out))
 	for _, h := range in {
-		if err := h.Handle(mc); err != nil {
-			return nil, soap.ServerFault(fmt.Errorf("in handler %q: %w", h.Name(), err))
-		}
+		ics = append(ics, inHandlerInterceptor(h))
+	}
+	// Out handlers run while the stack unwinds (innermost first), so they
+	// are composed in reverse to preserve registration order.
+	for i := len(out) - 1; i >= 0; i-- {
+		ics = append(ics, outHandlerInterceptor(out[i]))
 	}
 
-	results, fault := invoke(mc.Ctx, svc, op, body)
-	if fault != nil {
-		return nil, fault
-	}
-	if op.oneWay {
-		return nil, nil
+	terminal := func(pc *pipeline.Call) error {
+		results, fault := invoke(mc.Ctx, svc, op, body)
+		if fault != nil {
+			return fault
+		}
+		if op.oneWay {
+			return nil
+		}
+		respEnv := soap.NewEnvelopeV(env.Version())
+		wrapper := xmlutil.NewElement(xmlutil.N(svc.namespace, op.name+"Response"))
+		for i, rv := range results {
+			if err := xsd.AppendValue(wrapper, svc.namespace, op.outNames[i], rv); err != nil {
+				return soap.ServerFault(fmt.Errorf("encoding result %q: %w", op.outNames[i], err))
+			}
+		}
+		respEnv.AddBodyElement(wrapper)
+		mc.Response = respEnv
+		return nil
 	}
 
-	respEnv := soap.NewEnvelopeV(env.Version())
-	wrapper := xmlutil.NewElement(xmlutil.N(svc.namespace, op.name+"Response"))
-	for i, rv := range results {
-		if err := xsd.AppendValue(wrapper, svc.namespace, op.outNames[i], rv); err != nil {
-			return nil, soap.ServerFault(fmt.Errorf("encoding result %q: %w", op.outNames[i], err))
-		}
-	}
-	respEnv.AddBodyElement(wrapper)
-
-	mc.Response = respEnv
-	for _, h := range out {
-		if err := h.Handle(mc); err != nil {
-			return nil, soap.ServerFault(fmt.Errorf("out handler %q: %w", h.Name(), err))
-		}
+	if err := pipeline.Compose(terminal, ics...)(c); err != nil {
+		return nil, soap.ServerFault(err)
 	}
 	return mc.Response, nil
 }

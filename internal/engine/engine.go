@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"wspeer/internal/pipeline"
 	"wspeer/internal/wsdl"
 	"wspeer/internal/xsd"
 )
@@ -105,6 +106,12 @@ type Engine struct {
 	inChain  []ChainHandler
 	outChain []ChainHandler
 
+	// pipe is the server-side call pipeline every hosted request flows
+	// through: host → interceptors → parse/chains/dispatch (see
+	// ServeRequest). The ChainHandler lists above are adapted onto the
+	// same abstraction at the envelope level inside dispatch.
+	pipe *pipeline.Chain
+
 	understoodMu sync.RWMutex
 	understood   map[string]bool
 
@@ -138,8 +145,19 @@ func New() *Engine {
 	return &Engine{
 		services:   make(map[string]*Service),
 		understood: make(map[string]bool),
+		pipe:       pipeline.NewChain(),
 	}
 }
+
+// Use installs server-side pipeline interceptors around request
+// processing: every ServeRequest — from any host the engine is attached
+// to — flows through them before parsing and dispatch. Earlier-installed
+// interceptors run outermost. This is the wire-level seam; for
+// envelope-level processing use AddInHandler/AddOutHandler.
+func (e *Engine) Use(ics ...pipeline.Interceptor) { e.pipe.Use(ics...) }
+
+// Pipeline exposes the engine's server-side interceptor chain.
+func (e *Engine) Pipeline() *pipeline.Chain { return e.pipe }
 
 // Deploy registers a service definition, making it invokable.
 func (e *Engine) Deploy(def ServiceDef) (*Service, error) {

@@ -57,6 +57,9 @@ type Options struct {
 	Profile string
 	// Secret is the shared secret for the httpg profile.
 	Secret []byte
+	// ShutdownTimeout bounds how long Close waits for in-flight requests
+	// to drain before forcing the listener down (default 2s).
+	ShutdownTimeout time.Duration
 }
 
 // Host exposes an engine's services over HTTP without a container.
@@ -82,6 +85,9 @@ func New(eng *engine.Engine, opts Options) *Host {
 	}
 	if opts.Profile == "" {
 		opts.Profile = "http"
+	}
+	if opts.ShutdownTimeout <= 0 {
+		opts.ShutdownTimeout = 2 * time.Second
 	}
 	return &Host{eng: eng, opts: opts, deployed: make(map[string]bool)}
 }
@@ -184,7 +190,8 @@ func (h *Host) ensureStarted() error {
 	return nil
 }
 
-// Close shuts the listener down.
+// Close shuts the listener down, waiting up to Options.ShutdownTimeout
+// for in-flight requests to finish.
 func (h *Host) Close() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -193,7 +200,7 @@ func (h *Host) Close() error {
 		return nil
 	}
 	h.started = false
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), h.opts.ShutdownTimeout)
 	defer cancel()
 	return h.srv.Shutdown(ctx)
 }

@@ -1,0 +1,319 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// MetaIdempotent is the Meta key that marks a call as safe to retry. The
+// stock Retry interceptor's default policy only retransmits calls carrying
+// it (see Idempotent); callers that know better supply their own Retryable.
+const MetaIdempotent = "pipeline.idempotent"
+
+// MarkIdempotent flags the call as safe to retransmit.
+func MarkIdempotent(c *Call) { c.SetMeta(MetaIdempotent, true) }
+
+// Idempotent reports whether the call is flagged safe to retransmit.
+func Idempotent(c *Call) bool {
+	v, _ := c.GetMeta(MetaIdempotent).(bool)
+	return v
+}
+
+// Deadline returns an interceptor enforcing a per-call timeout: the
+// remainder of the stack runs under a context that expires d after the
+// call enters this stage. An already-expired context short-circuits
+// without reaching the terminal. Non-positive d disables enforcement.
+func Deadline(d time.Duration) Interceptor {
+	return func(next CallFunc) CallFunc {
+		return func(c *Call) error {
+			if d <= 0 {
+				return next(c)
+			}
+			ctx, cancel := context.WithTimeout(c.Ctx, d)
+			defer cancel()
+			parent := c.Ctx
+			c.Ctx = ctx
+			defer func() { c.Ctx = parent }()
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			err := next(c)
+			// Attribute timeout-shaped failures to this stage's deadline
+			// so callers see DeadlineExceeded rather than a transport's
+			// private wrapping of it.
+			if err != nil && ctx.Err() != nil && parent.Err() == nil {
+				return ctx.Err()
+			}
+			return err
+		}
+	}
+}
+
+// RetryOptions tunes the Retry interceptor. The zero value means 3
+// attempts, 10ms base delay, 1s cap, half-width jitter, and the default
+// idempotent-only policy.
+type RetryOptions struct {
+	// Attempts is the total number of tries, including the first
+	// (default 3; values below 1 behave as 1).
+	Attempts int
+	// BaseDelay is the backoff before the first retry (default 10ms);
+	// each subsequent retry doubles it up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 1s).
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay randomized away (0..1,
+	// default 0.5): delay' = delay * (1 - Jitter*rand).
+	Jitter float64
+	// Retryable decides whether a failed attempt is retried. The default
+	// retries any error except context cancellation/expiry, and only for
+	// calls flagged with MarkIdempotent — retransmitting a non-idempotent
+	// operation can execute it twice.
+	Retryable func(c *Call, err error) bool
+	// sleep is a test seam; nil means a real timer honoring c.Ctx.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+func defaultRetryable(c *Call, err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return Idempotent(c)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Retry returns an interceptor that retransmits failed calls with
+// exponential backoff and jitter. Between attempts the carrier's Response
+// and Err are cleared so each attempt runs the inner stack clean. The
+// default policy is idempotent-safe: see RetryOptions.Retryable.
+func Retry(opts RetryOptions) Interceptor {
+	if opts.Attempts < 1 {
+		opts.Attempts = 3
+	}
+	if opts.BaseDelay <= 0 {
+		opts.BaseDelay = 10 * time.Millisecond
+	}
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = time.Second
+	}
+	if opts.Jitter < 0 || opts.Jitter > 1 {
+		opts.Jitter = 0.5
+	}
+	if opts.Retryable == nil {
+		opts.Retryable = defaultRetryable
+	}
+	if opts.sleep == nil {
+		opts.sleep = sleepCtx
+	}
+	return func(next CallFunc) CallFunc {
+		return func(c *Call) error {
+			delay := opts.BaseDelay
+			var err error
+			for attempt := 1; ; attempt++ {
+				c.Response = nil
+				c.Err = nil
+				err = next(c)
+				if err == nil || attempt >= opts.Attempts || !opts.Retryable(c, err) {
+					return err
+				}
+				d := delay
+				if opts.Jitter > 0 {
+					d -= time.Duration(opts.Jitter * rand.Float64() * float64(delay))
+				}
+				if serr := opts.sleep(c.Ctx, d); serr != nil {
+					return err // context gave out while backing off
+				}
+				delay *= 2
+				if delay > opts.MaxDelay {
+					delay = opts.MaxDelay
+				}
+			}
+		}
+	}
+}
+
+// Events returns an interceptor that reports every completed call to one
+// observer — the single choke point the event tree hangs off. The carrier
+// reaches the observer with Err recorded; with Events installed outermost
+// (core and the bindings install it first) one event fires per logical
+// call regardless of inner retries.
+func Events(observe func(c *Call)) Interceptor {
+	return func(next CallFunc) CallFunc {
+		return func(c *Call) error {
+			err := next(c)
+			c.Err = err
+			observe(c)
+			return err
+		}
+	}
+}
+
+// numLatencyBuckets counts the histogram buckets: one per bound plus the
+// unbounded overflow bucket.
+const numLatencyBuckets = len(latencyBuckets) + 1
+
+// latencyBuckets are the upper bounds of the CallStats histogram; the last
+// bucket is unbounded.
+var latencyBuckets = [...]time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// LatencyBucketBounds returns the histogram's upper bounds (the final,
+// unbounded bucket is not listed — a Snapshot's Buckets slice has one more
+// entry than this).
+func LatencyBucketBounds() []time.Duration {
+	return append([]time.Duration(nil), latencyBuckets[:]...)
+}
+
+type serviceStats struct {
+	calls    int64
+	failures int64
+	total    time.Duration
+	min      time.Duration
+	max      time.Duration
+	buckets  [numLatencyBuckets]int64
+}
+
+// CallStats measures the calls passing through its interceptor:
+// per-service, per-direction counts, failures and a latency histogram.
+// One CallStats may be installed on several chains; Snapshot aggregates
+// everything it has seen.
+type CallStats struct {
+	mu       sync.Mutex
+	services map[statsKey]*serviceStats
+}
+
+type statsKey struct {
+	service string
+	dir     Direction
+}
+
+// NewCallStats returns an empty recorder.
+func NewCallStats() *CallStats {
+	return &CallStats{services: make(map[statsKey]*serviceStats)}
+}
+
+// Interceptor returns the measuring stage. Install it inside Retry to
+// count individual attempts, outside to count logical calls.
+func (s *CallStats) Interceptor() Interceptor {
+	return func(next CallFunc) CallFunc {
+		return func(c *Call) error {
+			start := time.Now()
+			err := next(c)
+			s.record(c.Service, c.Dir, time.Since(start), err)
+			return err
+		}
+	}
+}
+
+func (s *CallStats) record(service string, dir Direction, elapsed time.Duration, err error) {
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	bucket := len(latencyBuckets)
+	for i, ub := range latencyBuckets {
+		if elapsed <= ub {
+			bucket = i
+			break
+		}
+	}
+	key := statsKey{service, dir}
+	s.mu.Lock()
+	ss := s.services[key]
+	if ss == nil {
+		ss = &serviceStats{min: elapsed, max: elapsed}
+		s.services[key] = ss
+	}
+	ss.calls++
+	if err != nil {
+		ss.failures++
+	}
+	ss.total += elapsed
+	if elapsed < ss.min {
+		ss.min = elapsed
+	}
+	if elapsed > ss.max {
+		ss.max = elapsed
+	}
+	ss.buckets[bucket]++
+	s.mu.Unlock()
+}
+
+// ServiceSnapshot is one service+direction row of a CallStats snapshot.
+type ServiceSnapshot struct {
+	Service  string
+	Dir      Direction
+	Calls    int64
+	Failures int64
+	// TotalLatency summed over all calls; divide by Calls for the mean.
+	TotalLatency time.Duration
+	MinLatency   time.Duration
+	MaxLatency   time.Duration
+	// Buckets counts calls at or under each LatencyBucketBounds entry,
+	// plus a final overflow bucket.
+	Buckets []int64
+}
+
+// Mean returns the average latency (0 with no calls).
+func (s ServiceSnapshot) Mean() time.Duration {
+	if s.Calls == 0 {
+		return 0
+	}
+	return s.TotalLatency / time.Duration(s.Calls)
+}
+
+// Snapshot returns a consistent copy of everything recorded so far,
+// ordered by service name then direction.
+func (s *CallStats) Snapshot() []ServiceSnapshot {
+	s.mu.Lock()
+	out := make([]ServiceSnapshot, 0, len(s.services))
+	for key, ss := range s.services {
+		out = append(out, ServiceSnapshot{
+			Service:      key.service,
+			Dir:          key.dir,
+			Calls:        ss.calls,
+			Failures:     ss.failures,
+			TotalLatency: ss.total,
+			MinLatency:   ss.min,
+			MaxLatency:   ss.max,
+			Buckets:      append([]int64(nil), ss.buckets[:]...),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Service != out[j].Service {
+			return out[i].Service < out[j].Service
+		}
+		return out[i].Dir < out[j].Dir
+	})
+	return out
+}
+
+// Service returns the snapshot row for one service+direction (zero row
+// when the pair has not been seen).
+func (s *CallStats) Service(service string, dir Direction) ServiceSnapshot {
+	for _, row := range s.Snapshot() {
+		if row.Service == service && row.Dir == dir {
+			return row
+		}
+	}
+	return ServiceSnapshot{Service: service, Dir: dir}
+}

@@ -1,0 +1,161 @@
+// Package pipeline is WSPeer's unified call pipeline: a composable
+// interceptor abstraction that wraps both directions of the system's
+// messaging — client invocation (core Invocation → scheme-selected
+// transport) and server dispatch (httpd/p2ps host → engine dispatch).
+//
+// The paper describes events fired "either side of being processed by the
+// underlying messaging system"; this package is the single seam those
+// either-sides hang off. A Call is the binding-agnostic carrier that flows
+// through a stack of Interceptors toward a terminal CallFunc (the
+// transport on the client side, the messaging engine on the server side).
+// Each Interceptor wraps the next stage and may short-circuit, mutate the
+// carrier, retry the remainder of the stack, or observe the outcome.
+//
+// Stock interceptors ship in this package: Deadline (per-call timeout
+// enforcement), Retry (idempotent-safe retransmission with exponential
+// backoff and jitter), Events (one choke point for client/server message
+// events) and CallStats (atomic per-service counters and a latency
+// histogram). Layers above install them via core.Client.Use,
+// engine.Engine.Use, or a binding's Use method.
+package pipeline
+
+import (
+	"context"
+	"sync"
+
+	"wspeer/internal/transport"
+)
+
+// Direction says which side of the messaging system a Call is on.
+type Direction int
+
+const (
+	// ClientCall is an outbound invocation: application → transport.
+	ClientCall Direction = iota
+	// ServerDispatch is an inbound hosted request: host → engine.
+	ServerDispatch
+)
+
+// String returns "client" or "server".
+func (d Direction) String() string {
+	if d == ServerDispatch {
+		return "server"
+	}
+	return "client"
+}
+
+// Call is the carrier that flows through an interceptor stack. Exactly one
+// Call exists per logical exchange; interceptors mutate it in place.
+type Call struct {
+	// Ctx governs the call. Interceptors may swap in derived contexts
+	// (Deadline does) but must restore the original before returning.
+	Ctx context.Context
+	// Dir is the side of the messaging system this call is on.
+	Dir Direction
+	// Service is the target (client) or hosted (server) service name.
+	Service string
+	// Op is the operation name. On the server side it is resolved
+	// mid-terminal, so pre-terminal interceptors may see it empty.
+	Op string
+	// Request is the wire-level request when the stage that produced it
+	// has run (terminal stages and wire-aware invokers populate it).
+	Request *transport.Request
+	// Response is the wire-level response, populated by the terminal.
+	Response *transport.Response
+	// Meta carries cross-interceptor state, lazily allocated (see SetMeta).
+	Meta map[string]interface{}
+	// Err is the call's recorded outcome: Chain.Run stores the composed
+	// stack's error here before returning, so observers installed outside
+	// the error return path (Events) see it.
+	Err error
+}
+
+// SetMeta stores a cross-interceptor value, allocating Meta on first use.
+func (c *Call) SetMeta(key string, value interface{}) {
+	if c.Meta == nil {
+		c.Meta = make(map[string]interface{}, 4)
+	}
+	c.Meta[key] = value
+}
+
+// GetMeta reads a cross-interceptor value ("" key conventions are the
+// installing package's business; nil when absent).
+func (c *Call) GetMeta(key string) interface{} {
+	if c.Meta == nil {
+		return nil
+	}
+	return c.Meta[key]
+}
+
+// CallFunc is one stage of the pipeline: it advances the Call and reports
+// the outcome. The terminal CallFunc is the stage that actually moves
+// bytes (a transport on the client side, the engine on the server side).
+type CallFunc func(c *Call) error
+
+// Interceptor wraps the next stage of the pipeline. Implementations may
+// call next zero times (short-circuit), once (the common case), or several
+// times (Retry).
+type Interceptor func(next CallFunc) CallFunc
+
+// Compose wraps terminal with the interceptors; ics[0] is outermost. With
+// ics = [a, b], execution order is a-before, b-before, terminal, b-after,
+// a-after.
+func Compose(terminal CallFunc, ics ...Interceptor) CallFunc {
+	fn := terminal
+	for i := len(ics) - 1; i >= 0; i-- {
+		fn = ics[i](fn)
+	}
+	return fn
+}
+
+// Chain is a mutable, concurrency-safe interceptor stack. Layers that own
+// a pipeline (the client side of a peer, the engine's server side) hold a
+// Chain and snapshot it per call, so Use may race with in-flight calls.
+type Chain struct {
+	mu  sync.RWMutex
+	ics []Interceptor
+}
+
+// NewChain returns a chain preloaded with the given interceptors.
+func NewChain(ics ...Interceptor) *Chain {
+	return &Chain{ics: append([]Interceptor(nil), ics...)}
+}
+
+// Use appends interceptors to the chain. Earlier-installed interceptors
+// run outermost.
+func (ch *Chain) Use(ics ...Interceptor) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	ch.ics = append(ch.ics, ics...)
+}
+
+// Len reports how many interceptors are installed.
+func (ch *Chain) Len() int {
+	ch.mu.RLock()
+	defer ch.mu.RUnlock()
+	return len(ch.ics)
+}
+
+// Interceptors returns a snapshot of the installed stack.
+func (ch *Chain) Interceptors() []Interceptor {
+	ch.mu.RLock()
+	defer ch.mu.RUnlock()
+	return append([]Interceptor(nil), ch.ics...)
+}
+
+// Run sends the call through a snapshot of the chain into terminal,
+// recording the outcome in c.Err as well as returning it.
+func (ch *Chain) Run(c *Call, terminal CallFunc) error {
+	ch.mu.RLock()
+	var fn CallFunc
+	if len(ch.ics) == 0 {
+		fn = terminal // fast path: no composition, no copying
+		ch.mu.RUnlock()
+	} else {
+		fn = Compose(terminal, ch.ics...)
+		ch.mu.RUnlock()
+	}
+	err := fn(c)
+	c.Err = err
+	return err
+}

@@ -1,0 +1,333 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"wspeer/internal/transport"
+)
+
+func TestComposeOrder(t *testing.T) {
+	var trace []string
+	mark := func(name string) Interceptor {
+		return func(next CallFunc) CallFunc {
+			return func(c *Call) error {
+				trace = append(trace, name+"-before")
+				err := next(c)
+				trace = append(trace, name+"-after")
+				return err
+			}
+		}
+	}
+	fn := Compose(func(c *Call) error {
+		trace = append(trace, "terminal")
+		return nil
+	}, mark("a"), mark("b"))
+	if err := fn(&Call{Ctx: context.Background()}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a-before", "b-before", "terminal", "b-after", "a-after"}
+	if fmt.Sprint(trace) != fmt.Sprint(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestChainRunRecordsErr(t *testing.T) {
+	ch := NewChain()
+	boom := errors.New("boom")
+	c := &Call{Ctx: context.Background()}
+	if err := ch.Run(c, func(*Call) error { return boom }); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Err != boom {
+		t.Fatalf("c.Err = %v", c.Err)
+	}
+}
+
+func TestChainUseDuringRun(t *testing.T) {
+	// Use may race with Run: the chain snapshots per call.
+	ch := NewChain()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ch.Use(func(next CallFunc) CallFunc { return next })
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		c := &Call{Ctx: context.Background()}
+		if err := ch.Run(c, func(*Call) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestDeadlineEnforced(t *testing.T) {
+	ic := Deadline(10 * time.Millisecond)
+	fn := ic(func(c *Call) error {
+		select {
+		case <-c.Ctx.Done():
+			return c.Ctx.Err()
+		case <-time.After(5 * time.Second):
+			return nil
+		}
+	})
+	c := &Call{Ctx: context.Background()}
+	start := time.Now()
+	err := fn(c)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("deadline not enforced promptly")
+	}
+	if c.Ctx.Err() != nil {
+		t.Fatal("original context not restored")
+	}
+}
+
+func TestDeadlineExpiredBeforeCall(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reached := false
+	fn := Deadline(time.Hour)(func(c *Call) error { reached = true; return nil })
+	if err := fn(&Call{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if reached {
+		t.Fatal("terminal ran under a dead context")
+	}
+}
+
+func TestDeadlineDisabled(t *testing.T) {
+	fn := Deadline(0)(func(c *Call) error {
+		if _, ok := c.Ctx.Deadline(); ok {
+			t.Fatal("disabled Deadline still set a deadline")
+		}
+		return nil
+	})
+	if err := fn(&Call{Ctx: context.Background()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetryRecoversTransientFailure is the acceptance check: a terminal
+// failing twice with a transient transport error succeeds on the third
+// attempt under Retry.
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	attempts := 0
+	terminal := func(c *Call) error {
+		attempts++
+		if attempts < 3 {
+			return fmt.Errorf("transient: connection reset (attempt %d)", attempts)
+		}
+		c.Response = &transport.Response{Body: []byte("ok")}
+		return nil
+	}
+	fn := Retry(RetryOptions{
+		Attempts:  5,
+		BaseDelay: time.Microsecond,
+		sleep:     func(context.Context, time.Duration) error { return nil },
+	})(terminal)
+	c := &Call{Ctx: context.Background()}
+	MarkIdempotent(c)
+	if err := fn(c); err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d", attempts)
+	}
+	if c.Response == nil || string(c.Response.Body) != "ok" {
+		t.Fatalf("response = %+v", c.Response)
+	}
+}
+
+func TestRetryDefaultPolicyIsIdempotentOnly(t *testing.T) {
+	attempts := 0
+	fn := Retry(RetryOptions{
+		Attempts:  4,
+		BaseDelay: time.Microsecond,
+		sleep:     func(context.Context, time.Duration) error { return nil },
+	})(func(c *Call) error {
+		attempts++
+		return errors.New("always fails")
+	})
+	// Unmarked call: no retransmission.
+	if err := fn(&Call{Ctx: context.Background()}); err == nil {
+		t.Fatal("expected error")
+	}
+	if attempts != 1 {
+		t.Fatalf("non-idempotent call attempted %d times", attempts)
+	}
+	// Marked call: retried up to Attempts.
+	attempts = 0
+	c := &Call{Ctx: context.Background()}
+	MarkIdempotent(c)
+	if err := fn(c); err == nil {
+		t.Fatal("expected error")
+	}
+	if attempts != 4 {
+		t.Fatalf("idempotent call attempted %d times", attempts)
+	}
+}
+
+func TestRetryStopsOnContextErrors(t *testing.T) {
+	attempts := 0
+	fn := Retry(RetryOptions{
+		Attempts:  5,
+		BaseDelay: time.Microsecond,
+		sleep:     func(context.Context, time.Duration) error { return nil },
+	})(func(c *Call) error {
+		attempts++
+		return context.DeadlineExceeded
+	})
+	c := &Call{Ctx: context.Background()}
+	MarkIdempotent(c)
+	if err := fn(c); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry after deadline)", attempts)
+	}
+}
+
+func TestRetryClearsCarrierBetweenAttempts(t *testing.T) {
+	attempts := 0
+	fn := Retry(RetryOptions{
+		Attempts:  2,
+		BaseDelay: time.Microsecond,
+		Retryable: func(*Call, error) bool { return true },
+		sleep:     func(context.Context, time.Duration) error { return nil },
+	})(func(c *Call) error {
+		attempts++
+		if attempts == 1 {
+			c.Response = &transport.Response{Body: []byte("partial")}
+			return errors.New("failed after partial response")
+		}
+		if c.Response != nil {
+			t.Error("stale response visible to second attempt")
+		}
+		return nil
+	})
+	if err := fn(&Call{Ctx: context.Background()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventsObservesOncePerLogicalCall(t *testing.T) {
+	var events []error
+	ic := Events(func(c *Call) { events = append(events, c.Err) })
+	retry := Retry(RetryOptions{
+		Attempts:  3,
+		BaseDelay: time.Microsecond,
+		Retryable: func(*Call, error) bool { return true },
+		sleep:     func(context.Context, time.Duration) error { return nil },
+	})
+	attempts := 0
+	fn := Compose(func(c *Call) error {
+		attempts++
+		if attempts < 2 {
+			return errors.New("once")
+		}
+		return nil
+	}, ic, retry) // Events outermost
+	if err := fn(&Call{Ctx: context.Background()}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0] != nil {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestCallStatsSnapshot(t *testing.T) {
+	stats := NewCallStats()
+	fn := stats.Interceptor()(func(c *Call) error {
+		if c.Service == "Bad" {
+			return errors.New("fail")
+		}
+		return nil
+	})
+	for i := 0; i < 5; i++ {
+		fn(&Call{Ctx: context.Background(), Service: "Echo", Dir: ClientCall})
+	}
+	for i := 0; i < 2; i++ {
+		fn(&Call{Ctx: context.Background(), Service: "Bad", Dir: ServerDispatch})
+	}
+	snap := stats.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("rows = %d", len(snap))
+	}
+	bad, echo := snap[0], snap[1] // sorted by name
+	if bad.Service != "Bad" || bad.Calls != 2 || bad.Failures != 2 || bad.Dir != ServerDispatch {
+		t.Fatalf("bad row = %+v", bad)
+	}
+	if echo.Service != "Echo" || echo.Calls != 5 || echo.Failures != 0 {
+		t.Fatalf("echo row = %+v", echo)
+	}
+	var bucketTotal int64
+	for _, n := range echo.Buckets {
+		bucketTotal += n
+	}
+	if bucketTotal != echo.Calls {
+		t.Fatalf("bucket total %d != calls %d", bucketTotal, echo.Calls)
+	}
+	if echo.MinLatency < 0 || echo.MaxLatency < echo.MinLatency || echo.TotalLatency < echo.MaxLatency {
+		t.Fatalf("latency ordering: %+v", echo)
+	}
+	if got := stats.Service("Echo", ClientCall); got.Calls != 5 {
+		t.Fatalf("Service() = %+v", got)
+	}
+	if got := stats.Service("Nope", ClientCall); got.Calls != 0 {
+		t.Fatalf("unseen Service() = %+v", got)
+	}
+}
+
+func TestCallStatsConcurrent(t *testing.T) {
+	stats := NewCallStats()
+	fn := stats.Interceptor()(func(*Call) error { return nil })
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 250
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				fn(&Call{Ctx: context.Background(), Service: "S", Dir: ClientCall})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := stats.Service("S", ClientCall).Calls; got != goroutines*per {
+		t.Fatalf("calls = %d", got)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if ClientCall.String() != "client" || ServerDispatch.String() != "server" {
+		t.Fatal("direction strings")
+	}
+}
+
+func TestMetaLazyAllocation(t *testing.T) {
+	c := &Call{}
+	if c.GetMeta("x") != nil {
+		t.Fatal("empty meta")
+	}
+	c.SetMeta("x", 7)
+	if c.GetMeta("x") != 7 {
+		t.Fatal("meta roundtrip")
+	}
+}

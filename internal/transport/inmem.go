@@ -69,14 +69,33 @@ func (t *inMemTransport) Call(ctx context.Context, req *Request) (*Response, err
 	// Copy the body so handler and caller cannot alias each other's bytes.
 	cp := *req
 	cp.Body = append([]byte(nil), req.Body...)
-	resp, err := h.Serve(ctx, &cp)
-	if err != nil {
-		return nil, err
+
+	// Serve in a goroutine so the caller observes ctx expiry even while
+	// the handler is still running — the behaviour a real network
+	// transport gives for free. The channel is buffered so an abandoned
+	// handler can finish and exit without a receiver.
+	type callResult struct {
+		resp *Response
+		err  error
 	}
-	if resp == nil {
-		return &Response{}, nil
+	done := make(chan callResult, 1)
+	go func() {
+		resp, err := h.Serve(ctx, &cp)
+		done <- callResult{resp, err}
+	}()
+
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case res := <-done:
+		if res.err != nil {
+			return nil, res.err
+		}
+		if res.resp == nil {
+			return &Response{}, nil
+		}
+		out := *res.resp
+		out.Body = append([]byte(nil), res.resp.Body...)
+		return &out, nil
 	}
-	out := *resp
-	out.Body = append([]byte(nil), resp.Body...)
-	return &out, nil
 }

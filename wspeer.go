@@ -38,12 +38,15 @@
 package wspeer
 
 import (
+	"time"
+
 	"wspeer/internal/binding/httpbind"
 	"wspeer/internal/binding/p2psbind"
 	"wspeer/internal/core"
 	"wspeer/internal/engine"
 	"wspeer/internal/flow"
 	"wspeer/internal/p2ps"
+	"wspeer/internal/pipeline"
 	"wspeer/internal/soap"
 	"wspeer/internal/transport"
 	"wspeer/internal/uddi"
@@ -112,6 +115,53 @@ type (
 	// DeploymentMessageEvent reports (un)deployments.
 	DeploymentMessageEvent = core.DeploymentMessageEvent
 )
+
+// The unified call pipeline (see DESIGN.md "Call pipeline"): interceptors
+// wrap client invocations (Client.Use) and server dispatch (the bindings'
+// Use methods) around the same Call carrier.
+type (
+	// PipelineCall is the carrier one call's state travels in through an
+	// interceptor chain.
+	PipelineCall = pipeline.Call
+	// CallFunc is the continuation an interceptor wraps.
+	CallFunc = pipeline.CallFunc
+	// CallInterceptor decorates a CallFunc with cross-cutting behaviour.
+	CallInterceptor = pipeline.Interceptor
+	// CallDirection distinguishes client calls from server dispatches.
+	CallDirection = pipeline.Direction
+	// RetryOptions tunes the Retry interceptor.
+	RetryOptions = pipeline.RetryOptions
+	// CallStats aggregates per-service call counts and latency.
+	CallStats = pipeline.CallStats
+	// ServiceSnapshot is one service's aggregated statistics.
+	ServiceSnapshot = pipeline.ServiceSnapshot
+)
+
+// Call directions.
+const (
+	// ClientCall marks an outbound invocation.
+	ClientCall = pipeline.ClientCall
+	// ServerDispatch marks an inbound dispatch.
+	ServerDispatch = pipeline.ServerDispatch
+)
+
+// Deadline returns an interceptor that bounds each call with a context
+// timeout.
+func Deadline(d time.Duration) CallInterceptor { return pipeline.Deadline(d) }
+
+// Retry returns an interceptor that retries failed idempotent calls with
+// exponential backoff; see MarkIdempotent and Idempotent.
+func Retry(opts RetryOptions) CallInterceptor { return pipeline.Retry(opts) }
+
+// NewCallStats returns an empty statistics collector; install it with
+// Client.Use / a binding's Use and read it with Snapshot.
+func NewCallStats() *CallStats { return pipeline.NewCallStats() }
+
+// MarkIdempotent flags a call as safe to retry.
+func MarkIdempotent(c *PipelineCall) { pipeline.MarkIdempotent(c) }
+
+// Idempotent reports whether a call was flagged with MarkIdempotent.
+func Idempotent(c *PipelineCall) bool { return pipeline.Idempotent(c) }
 
 // Service definition and invocation payloads (messaging engine).
 type (
