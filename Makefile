@@ -3,8 +3,9 @@
 # it vets and runs the full test suite under the race detector.
 
 GO ?= go
+BENCH_BASELINE ?= bench_baseline.json
 
-.PHONY: all build vet test race bench harness examples loc clean check
+.PHONY: all build vet test race bench bench-baseline bench-compare harness examples loc clean check
 
 all: build vet test
 
@@ -28,6 +29,15 @@ race:
 # One testing.B benchmark per experiment (see DESIGN.md §5).
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Capture the invocation fast-path measurements as the comparison baseline.
+bench-baseline:
+	$(GO) run ./cmd/benchharness -experiments A3 -benchjson $(BENCH_BASELINE)
+
+# Re-measure and fail loudly on a >20% ns/op or allocs/op regression
+# against the saved baseline.
+bench-compare:
+	$(GO) run ./cmd/benchharness -experiments A3 -bench-compare $(BENCH_BASELINE)
 
 # Regenerate every experiment table (E1-E10, A1-A2).
 harness:

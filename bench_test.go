@@ -72,6 +72,7 @@ func BenchmarkHTTPLifecycle(b *testing.B) {
 	defer binding.Close()
 	binding.Attach(peer)
 	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		name := fmt.Sprintf("Echo%d", i)
@@ -176,6 +177,7 @@ func BenchmarkP2PSLifecycle(b *testing.B) {
 	provider, _, cleanup := p2psBenchRig(b)
 	defer cleanup()
 	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		name := fmt.Sprintf("Echo%d", i)
@@ -228,6 +230,7 @@ func BenchmarkDiscoveryScaling(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if ok, _ := o.RunQueries(1, nil); ok != 1 {
@@ -239,6 +242,7 @@ func BenchmarkDiscoveryScaling(b *testing.B) {
 // BenchmarkChurnResilience (E6): a full small churn round: build a 32-peer
 // overlay, kill a quarter of it, measure 8 queries.
 func BenchmarkChurnResilience(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.RunChurn(int64(i), 32, []float64{0.25}, 8, 1)
 		if err != nil {
@@ -254,6 +258,7 @@ func BenchmarkChurnResilience(b *testing.B) {
 // slow services.
 func BenchmarkSyncVsAsync(b *testing.B) {
 	b.Run("sequential-sync", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			r, err := experiments.RunSyncVsAsync(int64(i), 16, 500*time.Microsecond)
 			if err != nil {
@@ -329,6 +334,7 @@ func BenchmarkDynamicVsStatic(b *testing.B) {
 // BenchmarkLazyDeploy (E9): host creation + lazy listener launch + first
 // deployment, per iteration.
 func BenchmarkLazyDeploy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := httpd.New(engine.New(), httpd.Options{})
 		if _, err := h.Deploy(engine.ServiceDef{
@@ -436,6 +442,7 @@ func BenchmarkQueuedListener(b *testing.B) {
 	defer q.Close()
 	peer := core.NewPeer()
 	peer.AddListener(q)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		peer.FireServerMessage("S", nil, nil)
@@ -464,6 +471,21 @@ func BenchmarkQueryEval(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if !e.Matches(s) {
 			b.Fatal("no match")
+		}
+	}
+}
+
+// BenchmarkEnvelopeMarshal: envelope rendering alone through the pooled
+// XML writer — the serialization leg of every invocation and dispatch.
+func BenchmarkEnvelopeMarshal(b *testing.B) {
+	env := soap.NewEnvelope()
+	body := xmlutil.NewElement(xmlutil.N("urn:bench", "echo"))
+	body.NewChild(xmlutil.N("urn:bench", "msg")).SetText("hello world")
+	env.AddBodyElement(body)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(env.Marshal()) == 0 {
+			b.Fatal("empty envelope")
 		}
 	}
 }
@@ -519,6 +541,7 @@ func BenchmarkWorkflowRun(b *testing.B) {
 	}
 	a, bb, c := host(stage("A")), host(stage("B")), host(stage("C"))
 	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		wf := flow.New("bench")

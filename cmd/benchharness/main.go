@@ -30,6 +30,8 @@ func main() {
 	churnReps := flag.Int("churn-reps", 3, "repetitions averaged for E6")
 	services := flag.Int("services", 64, "service population for E7")
 	iters := flag.Int("iters", 2000, "iterations for microbenchmark experiments")
+	benchJSON := flag.String("benchjson", "", "write A3 fast-path benchmark results (allocs/op, ns/op) to this JSON file")
+	benchCompare := flag.String("bench-compare", "", "compare A3 results against this baseline JSON; exit non-zero on >20% regression")
 	flag.Parse()
 
 	wanted := map[string]bool{}
@@ -39,6 +41,7 @@ func main() {
 		}
 		wanted["A1"] = true
 		wanted["A2"] = true
+		wanted["A3"] = true
 	} else {
 		for _, id := range strings.Split(*which, ",") {
 			wanted[strings.ToUpper(strings.TrimSpace(id))] = true
@@ -115,6 +118,26 @@ func main() {
 		rows, err := experiments.RunChainDepth([]int{0, 4, 16, 64}, *iters)
 		check(err)
 		experiments.ChainDepthTable(rows).Print(os.Stdout)
+	}
+	if wanted["A3"] || *benchJSON != "" || *benchCompare != "" {
+		rs, err := experiments.RunAllocBenches()
+		check(err)
+		experiments.AllocBenchTable(rs).Print(os.Stdout)
+		if *benchJSON != "" {
+			check(experiments.WriteAllocBenchJSON(*benchJSON, rs))
+			fmt.Printf("wrote %s\n", *benchJSON)
+		}
+		if *benchCompare != "" {
+			baseline, err := experiments.ReadAllocBenchJSON(*benchCompare)
+			check(err)
+			if errs := experiments.CompareAllocBenches(baseline, rs, 0.20); len(errs) > 0 {
+				for _, e := range errs {
+					fmt.Fprintf(os.Stderr, "REGRESSION: %v\n", e)
+				}
+				log.Fatalf("benchharness: %d fast-path regression(s) against %s", len(errs), *benchCompare)
+			}
+			fmt.Printf("fast path within 20%% of baseline %s\n", *benchCompare)
+		}
 	}
 
 	fmt.Printf("\nharness completed in %s\n", time.Since(start).Round(time.Millisecond))

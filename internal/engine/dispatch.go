@@ -10,7 +10,6 @@ import (
 	"wspeer/internal/transport"
 	"wspeer/internal/wsaddr"
 	"wspeer/internal/xmlutil"
-	"wspeer/internal/xsd"
 )
 
 func nameInNS(ns, local string) xmlutil.Name { return xmlutil.N(ns, local) }
@@ -55,6 +54,7 @@ func (e *Engine) AddInHandler(h ChainHandler) {
 	e.chainMu.Lock()
 	defer e.chainMu.Unlock()
 	e.inChain = append(e.inChain, h)
+	e.recompose()
 }
 
 // AddOutHandler appends a handler to the outbound chain (runs after the
@@ -64,12 +64,35 @@ func (e *Engine) AddOutHandler(h ChainHandler) {
 	e.chainMu.Lock()
 	defer e.chainMu.Unlock()
 	e.outChain = append(e.outChain, h)
+	e.recompose()
 }
 
 func (e *Engine) chains() (in, out []ChainHandler) {
 	e.chainMu.RLock()
 	defer e.chainMu.RUnlock()
 	return append([]ChainHandler(nil), e.inChain...), append([]ChainHandler(nil), e.outChain...)
+}
+
+// recompose rebuilds the adapted interceptor chain. Caller holds chainMu.
+// In-handlers wrap ahead of the operation terminal; out-handlers run while
+// the stack unwinds (innermost first), so they are composed in reverse to
+// preserve registration order.
+func (e *Engine) recompose() {
+	ics := make([]pipeline.Interceptor, 0, len(e.inChain)+len(e.outChain))
+	for _, h := range e.inChain {
+		ics = append(ics, inHandlerInterceptor(h))
+	}
+	for i := len(e.outChain) - 1; i >= 0; i-- {
+		ics = append(ics, outHandlerInterceptor(e.outChain[i]))
+	}
+	e.composed = ics
+}
+
+// composedChain snapshots the pre-adapted handler interceptors.
+func (e *Engine) composedChain() []pipeline.Interceptor {
+	e.chainMu.RLock()
+	defer e.chainMu.RUnlock()
+	return e.composed
 }
 
 // MetaMessageContext is the pipeline Meta key under which dispatch
@@ -233,16 +256,7 @@ func (e *Engine) dispatch(c *pipeline.Call, env *soap.Envelope) (*soap.Envelope,
 	}
 	c.SetMeta(MetaMessageContext, mc)
 
-	in, out := e.chains()
-	ics := make([]pipeline.Interceptor, 0, len(in)+len(out))
-	for _, h := range in {
-		ics = append(ics, inHandlerInterceptor(h))
-	}
-	// Out handlers run while the stack unwinds (innermost first), so they
-	// are composed in reverse to preserve registration order.
-	for i := len(out) - 1; i >= 0; i-- {
-		ics = append(ics, outHandlerInterceptor(out[i]))
-	}
+	ics := e.composedChain()
 
 	terminal := func(pc *pipeline.Call) error {
 		results, fault := invoke(mc.Ctx, svc, op, body)
@@ -253,9 +267,9 @@ func (e *Engine) dispatch(c *pipeline.Call, env *soap.Envelope) (*soap.Envelope,
 			return nil
 		}
 		respEnv := soap.NewEnvelopeV(env.Version())
-		wrapper := xmlutil.NewElement(xmlutil.N(svc.namespace, op.name+"Response"))
+		wrapper := xmlutil.NewElement(xmlutil.N(svc.namespace, op.respName))
 		for i, rv := range results {
-			if err := xsd.AppendValue(wrapper, svc.namespace, op.outNames[i], rv); err != nil {
+			if err := op.outEncs[i](wrapper, svc.namespace, op.outNames[i], rv); err != nil {
 				return soap.ServerFault(fmt.Errorf("encoding result %q: %w", op.outNames[i], err))
 			}
 		}
@@ -277,8 +291,8 @@ func invoke(ctx context.Context, svc *Service, op *opInfo, wrapper *xmlutil.Elem
 	if op.hasCtx {
 		args = append(args, reflect.ValueOf(ctx))
 	}
-	for i, t := range op.inTypes {
-		v, err := xsd.ExtractValue(wrapper, svc.namespace, op.inNames[i], t)
+	for i := range op.inTypes {
+		v, err := op.inDecs[i](wrapper, svc.namespace, op.inNames[i])
 		if err != nil {
 			return nil, soap.NewFault(soap.FaultClient, "parameter %q: %s", op.inNames[i], err)
 		}

@@ -79,6 +79,14 @@ type opInfo struct {
 	inNames  []string
 	outTypes []reflect.Type
 	outNames []string
+
+	// Precompiled dispatch plan: per-parameter decoders and per-result
+	// encoders (compiled once at analysis time, see internal/xsd plan
+	// cache) and the response wrapper's local name, so the hot dispatch
+	// path does no reflection walks or string concatenation.
+	inDecs   []xsd.Decoder
+	outEncs  []xsd.Encoder
+	respName string
 }
 
 // Name returns the service name.
@@ -105,6 +113,11 @@ type Engine struct {
 	chainMu  sync.RWMutex
 	inChain  []ChainHandler
 	outChain []ChainHandler
+	// composed is the handler chains pre-adapted onto pipeline
+	// interceptors, rebuilt on registration (not per dispatch). The slice
+	// is replaced wholesale under chainMu, so readers may use a snapshot
+	// without copying.
+	composed []pipeline.Interceptor
 
 	// pipe is the server-side call pipeline every hosted request flows
 	// through: host → interceptors → parse/chains/dispatch (see
@@ -325,6 +338,18 @@ func analyzeOperation(od OperationDef) (*opInfo, error) {
 	if err := uniqueNames(op.outNames); err != nil {
 		return nil, fmt.Errorf("operation %q outputs: %w", od.Name, err)
 	}
+
+	// Compile the dispatch plan while we hold the types: decoding and
+	// encoding closures are resolved once here instead of per request.
+	op.inDecs = make([]xsd.Decoder, len(op.inTypes))
+	for i, t := range op.inTypes {
+		op.inDecs[i] = xsd.DecoderForType(t)
+	}
+	op.outEncs = make([]xsd.Encoder, len(op.outTypes))
+	for i, t := range op.outTypes {
+		op.outEncs[i] = xsd.EncoderForType(t)
+	}
+	op.respName = op.name + "Response"
 	return op, nil
 }
 

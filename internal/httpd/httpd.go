@@ -322,5 +322,7 @@ func writeFault(w http.ResponseWriter, f *soap.Fault) {
 	env := soap.NewEnvelope().SetFault(f)
 	w.Header().Set("Content-Type", soap.ContentType)
 	w.WriteHeader(http.StatusInternalServerError)
-	w.Write(env.Marshal())
+	// MarshalTo streams through the pooled XML writer straight into the
+	// response, skipping the intermediate copy Marshal would make.
+	env.MarshalTo(w)
 }

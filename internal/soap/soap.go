@@ -6,6 +6,7 @@ package soap
 
 import (
 	"fmt"
+	"io"
 
 	"wspeer/internal/xmlutil"
 )
@@ -187,8 +188,89 @@ func removeAttr(attrs []xmlutil.Attr, name xmlutil.Name) []xmlutil.Attr {
 	return out
 }
 
-// Marshal serializes the envelope to bytes.
-func (e *Envelope) Marshal() []byte { return xmlutil.Marshal(e.Element()) }
+// render builds a transient element tree for serialization. Unlike
+// Element(), parentless header and body elements are adopted into the tree
+// directly — no deep clone — which is safe because the tree lives only for
+// the duration of one marshal call; the returned cleanup detaches them
+// again, restoring their parentless state. Elements that already live in
+// another tree, or headers that need version normalization, are cloned as
+// before.
+func (e *Envelope) render() (root *xmlutil.Element, cleanup func()) {
+	ns := e.version.Namespace()
+	root = xmlutil.NewElement(xmlutil.N(ns, "Envelope"))
+	root.DeclarePrefix("soapenv", ns)
+	var hdr, body *xmlutil.Element
+	if len(e.headers) > 0 {
+		hdr = root.NewChild(xmlutil.N(ns, "Header"))
+		for _, h := range e.headers {
+			if h.Parent() != nil || headerNeedsNormalize(h, e.version) {
+				hc := h.Clone()
+				normalizeHeaderAttrs(hc, e.version)
+				hdr.AddChild(hc)
+			} else {
+				hdr.AddChild(h)
+			}
+		}
+	}
+	body = root.NewChild(xmlutil.N(ns, "Body"))
+	if e.fault != nil {
+		if e.version == SOAP12 {
+			body.AddChild(e.fault.element12())
+		} else {
+			body.AddChild(e.fault.element())
+		}
+	} else {
+		for _, b := range e.body {
+			if b.Parent() != nil {
+				body.AddChild(b.Clone())
+			} else {
+				body.AddChild(b)
+			}
+		}
+	}
+	return root, func() {
+		// Detach everything from the transient tree. Cloned children are
+		// garbage anyway; shared ones return to their parentless state.
+		if hdr != nil {
+			hdr.DetachChildren()
+		}
+		body.DetachChildren()
+	}
+}
+
+// headerNeedsNormalize reports whether a header block carries attributes in
+// the other SOAP version's vocabulary that Element()/render() would rewrite.
+func headerNeedsNormalize(block *xmlutil.Element, v Version) bool {
+	from, actorFrom := Namespace12, "role"
+	if v == SOAP12 {
+		from, actorFrom = Namespace, "actor"
+	}
+	if _, ok := block.Attr(xmlutil.N(from, "mustUnderstand")); ok {
+		return true
+	}
+	_, ok := block.Attr(xmlutil.N(from, actorFrom))
+	return ok
+}
+
+// Marshal serializes the envelope to bytes. The serialization path is
+// pooled and clone-free: building the wire form of an envelope allocates
+// only the returned byte slice (see render and xmlutil.Marshal).
+func (e *Envelope) Marshal() []byte {
+	root, cleanup := e.render()
+	out := xmlutil.Marshal(root)
+	cleanup()
+	return out
+}
+
+// MarshalTo serializes the envelope directly to w with no intermediate
+// byte-slice copy — the streaming counterpart of Marshal for response
+// writers and sockets.
+func (e *Envelope) MarshalTo(w io.Writer) error {
+	root, cleanup := e.render()
+	err := xmlutil.MarshalTo(w, root)
+	cleanup()
+	return err
+}
 
 // Parse reads a SOAP 1.1 envelope from bytes.
 func Parse(data []byte) (*Envelope, error) {

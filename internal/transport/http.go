@@ -8,8 +8,10 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"wspeer/internal/soap"
@@ -21,16 +23,70 @@ const maxResponseBytes = 64 << 20
 // SOAPActionHeader is the HTTP request header carrying the SOAPAction.
 const SOAPActionHeader = "SOAPAction"
 
+// sharedHTTPTransport is the tuned connection pool every HTTP-family
+// transport shares by default. SOAP invocation is many small POSTs to few
+// hosts, so connection reuse dominates: keep-alives on, a deep per-host
+// idle pool (the default of 2 collapses under concurrent invocations and
+// forces fresh TCP handshakes), and a generous idle timeout so
+// steady-state traffic never reconnects.
+var sharedHTTPTransport = &http.Transport{
+	Proxy: http.ProxyFromEnvironment,
+	DialContext: (&net.Dialer{
+		Timeout:   10 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	MaxIdleConns:          256,
+	MaxIdleConnsPerHost:   32,
+	IdleConnTimeout:       90 * time.Second,
+	TLSHandshakeTimeout:   10 * time.Second,
+	ExpectContinueTimeout: 1 * time.Second,
+}
+
+// SharedHTTPTransport exposes the tuned shared connection pool so hosts,
+// bindings and tools issuing their own HTTP requests reuse the same
+// keep-alive connections as the invocation path.
+func SharedHTTPTransport() *http.Transport { return sharedHTTPTransport }
+
+// respBufPool recycles response-read buffers: bodies are accumulated into
+// a pooled buffer (reusing its grown capacity across calls) and then
+// copied out at exact size, so the per-call garbage is one right-sized
+// slice instead of every intermediate growth step.
+var respBufPool = sync.Pool{
+	New: func() interface{} { return new(bytes.Buffer) },
+}
+
+// maxPooledRespBuf bounds the buffer capacity the pool retains.
+const maxPooledRespBuf = 1 << 20
+
+func readBody(r io.Reader) ([]byte, error) {
+	buf := respBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	_, err := buf.ReadFrom(io.LimitReader(r, maxResponseBytes))
+	var body []byte
+	if err == nil {
+		body = make([]byte, buf.Len())
+		copy(body, buf.Bytes())
+	}
+	if buf.Cap() <= maxPooledRespBuf {
+		respBufPool.Put(buf)
+	}
+	return body, err
+}
+
 // HTTPTransport carries SOAP 1.1 over HTTP POST.
 type HTTPTransport struct {
 	// Client is the underlying HTTP client. Defaults to a client with a
-	// 30-second timeout.
+	// 30-second timeout over the shared tuned connection pool.
 	Client *http.Client
 }
 
-// NewHTTPTransport returns an HTTP transport with sane defaults.
+// NewHTTPTransport returns an HTTP transport with sane defaults:
+// a 30-second overall timeout and the shared keep-alive connection pool.
 func NewHTTPTransport() *HTTPTransport {
-	return &HTTPTransport{Client: &http.Client{Timeout: 30 * time.Second}}
+	return &HTTPTransport{Client: &http.Client{
+		Timeout:   30 * time.Second,
+		Transport: sharedHTTPTransport,
+	}}
 }
 
 // Scheme implements Transport.
@@ -65,7 +121,7 @@ func (t *HTTPTransport) post(ctx context.Context, url string, req *Request, deco
 		return nil, fmt.Errorf("transport/http: POST %s: %w", url, err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	body, err := readBody(resp.Body)
 	if err != nil {
 		return nil, fmt.Errorf("transport/http: reading response: %w", err)
 	}
@@ -84,8 +140,7 @@ func (t *HTTPTransport) post(ctx context.Context, url string, req *Request, deco
 }
 
 func looksLikeXML(b []byte) bool {
-	s := strings.TrimSpace(string(b))
-	return strings.HasPrefix(s, "<")
+	return bytes.HasPrefix(bytes.TrimSpace(b), []byte("<"))
 }
 
 // ---------------------------------------------------------------------------
@@ -109,9 +164,10 @@ type HTTPGTransport struct {
 }
 
 // NewHTTPGTransport returns an HTTPG transport using the shared secret.
+// It reuses the same tuned keep-alive connection pool as plain HTTP.
 func NewHTTPGTransport(secret []byte) *HTTPGTransport {
 	return &HTTPGTransport{
-		HTTPTransport: HTTPTransport{Client: &http.Client{Timeout: 30 * time.Second}},
+		HTTPTransport: *NewHTTPTransport(),
 		Secret:        secret,
 	}
 }

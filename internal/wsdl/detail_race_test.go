@@ -1,0 +1,38 @@
+package wsdl
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDetailConcurrent first-touches the per-Definitions detail cache
+// from many goroutines under the race detector. Every caller must see
+// the same immutable *OperationDetail.
+func TestDetailConcurrent(t *testing.T) {
+	d := echoDefs(t)
+	var wg sync.WaitGroup
+	results := make([]*OperationDetail, 16)
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				det, err := d.Detail("Echo")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[g] = det
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < len(results); g++ {
+		if results[g] != results[0] {
+			t.Fatalf("goroutine %d saw a different cached detail", g)
+		}
+	}
+	if results[0].SOAPAction != tns+"#Echo" {
+		t.Fatalf("cached detail corrupted: %+v", results[0])
+	}
+}

@@ -7,6 +7,7 @@ package wsdl
 
 import (
 	"fmt"
+	"sync"
 
 	"wspeer/internal/xmlutil"
 	"wspeer/internal/xsd"
@@ -45,6 +46,12 @@ type Definitions struct {
 	// Imports lists wsdl:import references found while parsing; resolve
 	// them with ResolveImports.
 	Imports []Import
+
+	// detailCache memoizes Detail lookups (operation name → immutable
+	// *OperationDetail) so the per-invocation WSDL walk happens once per
+	// operation per Definitions. Concurrency-safe; see Detail. Definitions
+	// must not be copied by value once Detail has been called.
+	detailCache sync.Map
 }
 
 // Import is a wsdl:import reference to another definitions document.
@@ -179,7 +186,36 @@ type OperationDetail struct {
 
 // Detail resolves the invocation detail for an operation using the first
 // service port whose binding covers it.
+//
+// Results are memoized per operation name in a concurrency-safe cache: the
+// dynamic stub calls Detail on every invocation, and the walk over
+// messages, bindings and ports is pure per-Definitions state. The returned
+// OperationDetail is shared by all callers and MUST be treated as
+// immutable. Mutating the Definitions after the first Detail call requires
+// InvalidateDetails to flush stale entries.
 func (d *Definitions) Detail(opName string) (*OperationDetail, error) {
+	if v, ok := d.detailCache.Load(opName); ok {
+		return v.(*OperationDetail), nil
+	}
+	det, err := d.computeDetail(opName)
+	if err != nil {
+		return nil, err // misses are not cached; failed lookups are cold paths
+	}
+	actual, _ := d.detailCache.LoadOrStore(opName, det)
+	return actual.(*OperationDetail), nil
+}
+
+// InvalidateDetails flushes the Detail cache. Call it after structurally
+// mutating Definitions (messages, bindings, services) that have already
+// served Detail lookups.
+func (d *Definitions) InvalidateDetails() {
+	d.detailCache.Range(func(k, _ interface{}) bool {
+		d.detailCache.Delete(k)
+		return true
+	})
+}
+
+func (d *Definitions) computeDetail(opName string) (*OperationDetail, error) {
 	op := d.Operation(opName)
 	if op == nil {
 		return nil, fmt.Errorf("wsdl: no operation %q", opName)

@@ -181,8 +181,10 @@ func TestDetail(t *testing.T) {
 	if _, err := d.Detail("Missing"); err == nil {
 		t.Fatal("missing op accepted")
 	}
-	// Operation defined but not bound by any port.
+	// Operation defined but not bound by any port. Detail results are
+	// memoized, so structural mutation requires explicit invalidation.
 	d.Services = nil
+	d.InvalidateDetails()
 	if _, err := d.Detail("Echo"); err == nil {
 		t.Fatal("unbound op accepted")
 	}

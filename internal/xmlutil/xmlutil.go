@@ -16,6 +16,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Name is a namespace-qualified XML name. Space is the namespace URI (empty
@@ -170,6 +171,18 @@ func (e *Element) AddChild(child *Element) *Element {
 // NewChild creates, appends and returns a new child element.
 func (e *Element) NewChild(name Name) *Element {
 	return e.AddChild(NewElement(name))
+}
+
+// DetachChildren removes every child node from e, clearing the parent link
+// of child elements. It is the bulk counterpart of RemoveChild, used to tear
+// down transient render trees that temporarily adopt shared elements.
+func (e *Element) DetachChildren() {
+	for _, n := range e.children {
+		if el, ok := n.(*Element); ok {
+			el.parent = nil
+		}
+	}
+	e.children = e.children[:0]
 }
 
 // RemoveChild removes the first occurrence of child from e's children.
@@ -409,70 +422,18 @@ func significantChildren(e *Element) []Node {
 // Parsing
 
 // Parse reads a complete XML document from r and returns its root element.
+// The document is buffered in full; parsing itself is the byte-slice
+// parser in parse.go.
 func Parse(r io.Reader) (*Element, error) {
-	dec := xml.NewDecoder(r)
-	var root *Element
-	var cur *Element
-	for {
-		tok, err := dec.Token()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("xmlutil: parse: %w", err)
-		}
-		switch t := tok.(type) {
-		case xml.StartElement:
-			el := NewElement(Name{Space: t.Name.Space, Local: t.Name.Local})
-			for _, a := range t.Attr {
-				switch {
-				case a.Name.Space == "xmlns":
-					el.DeclarePrefix(a.Name.Local, a.Value)
-				case a.Name.Space == "" && a.Name.Local == "xmlns":
-					el.DeclarePrefix("", a.Value)
-				default:
-					el.Attrs = append(el.Attrs, Attr{
-						Name:  Name{Space: a.Name.Space, Local: a.Name.Local},
-						Value: a.Value,
-					})
-				}
-			}
-			if cur == nil {
-				if root != nil {
-					return nil, fmt.Errorf("xmlutil: multiple document elements")
-				}
-				root = el
-			} else {
-				cur.AddChild(el)
-			}
-			cur = el
-		case xml.EndElement:
-			if cur == nil {
-				return nil, fmt.Errorf("xmlutil: unbalanced end element %s", t.Name.Local)
-			}
-			cur = cur.parent
-		case xml.CharData:
-			if cur != nil {
-				cur.children = append(cur.children, Text(string(t)))
-			}
-		case xml.Comment, xml.ProcInst, xml.Directive:
-			// Ignored: not significant for any protocol in this system.
-		}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("xmlutil: parse: %w", err)
 	}
-	if root == nil {
-		return nil, fmt.Errorf("xmlutil: empty document")
-	}
-	if cur != nil {
-		return nil, fmt.Errorf("xmlutil: unexpected EOF inside <%s>", cur.Name.Local)
-	}
-	return root, nil
+	return ParseBytes(data)
 }
 
-// ParseBytes parses an XML document held in b.
-func ParseBytes(b []byte) (*Element, error) { return Parse(bytes.NewReader(b)) }
-
 // ParseString parses an XML document held in s.
-func ParseString(s string) (*Element, error) { return Parse(strings.NewReader(s)) }
+func ParseString(s string) (*Element, error) { return ParseBytes([]byte(s)) }
 
 // ---------------------------------------------------------------------------
 // Serialization
@@ -490,26 +451,80 @@ var PreferredPrefixes = map[string]string{
 }
 
 type writer struct {
-	b        *bytes.Buffer
+	b        bytes.Buffer
 	indent   string
 	prefixes map[string]string // uri -> prefix, global assignment
 	next     int
+	scratch  []byte // conversion buffer for the slow escape path
+}
+
+// writerPool recycles marshal writers — their byte buffers and prefix maps —
+// so steady-state serialization performs no per-call buffer growth or map
+// allocation. A writer obtained from the pool MUST be returned with
+// putWriter on every path; the returned bytes are always copied out of (or
+// flushed from) the pooled buffer before release, so callers never alias
+// pooled memory.
+var writerPool = sync.Pool{
+	New: func() interface{} {
+		return &writer{prefixes: make(map[string]string, 8)}
+	},
+}
+
+// maxPooledWriterCap bounds how much buffer capacity a pooled writer may
+// retain. Writers that served an unusually large document are dropped
+// instead of pinning their memory in the pool.
+const maxPooledWriterCap = 1 << 20
+
+func getWriter(indent string) *writer {
+	w := writerPool.Get().(*writer)
+	w.indent = indent
+	return w
+}
+
+func putWriter(w *writer) {
+	if w.b.Cap() > maxPooledWriterCap || len(w.prefixes) > 64 {
+		return // oversized; let the GC have it
+	}
+	w.b.Reset()
+	clear(w.prefixes)
+	w.next = 0
+	writerPool.Put(w)
 }
 
 // Marshal serializes the tree to a compact byte slice (no XML declaration).
+// The returned slice is freshly allocated and never aliases pooled memory.
 func Marshal(e *Element) []byte { return marshal(e, "") }
 
 // MarshalIndent serializes the tree with two-space indentation.
 func MarshalIndent(e *Element) []byte { return marshal(e, "  ") }
 
 func marshal(e *Element, indent string) []byte {
-	w := &writer{b: &bytes.Buffer{}, indent: indent, prefixes: map[string]string{}}
+	w := getWriter(indent)
+	w.run(e)
+	out := make([]byte, w.b.Len())
+	copy(out, w.b.Bytes())
+	putWriter(w)
+	return out
+}
+
+// MarshalTo serializes the tree (compact form) directly to dst, using a
+// pooled intermediate buffer: the envelope bytes are written once, with no
+// retained copies. It is the zero-garbage counterpart of Marshal for
+// callers that stream to a socket or response writer.
+func MarshalTo(dst io.Writer, e *Element) error {
+	w := getWriter("")
+	w.run(e)
+	_, err := dst.Write(w.b.Bytes())
+	putWriter(w)
+	return err
+}
+
+func (w *writer) run(e *Element) {
 	w.collect(e)
 	w.element(e, 0)
-	if indent != "" {
+	if w.indent != "" {
 		w.b.WriteByte('\n')
 	}
-	return w.b.Bytes()
 }
 
 // MarshalDocument serializes with a leading XML declaration.
@@ -573,15 +588,24 @@ func (w *writer) prefixUsed(p string) bool {
 	return false
 }
 
-func (w *writer) qname(n Name) string {
-	if n.Space == "" {
-		return n.Local
+// writeName writes the qualified lexical name for n straight into the
+// buffer, avoiding the per-element string concatenation a qname() helper
+// would cost.
+func (w *writer) writeName(n Name) {
+	switch {
+	case n.Space == "":
+	case n.Space == "http://www.w3.org/XML/1998/namespace":
+		w.b.WriteString("xml:")
+	default:
+		w.b.WriteString(w.prefixes[n.Space])
+		w.b.WriteByte(':')
 	}
-	if n.Space == "http://www.w3.org/XML/1998/namespace" {
-		return "xml:" + n.Local
-	}
-	return w.prefixes[n.Space] + ":" + n.Local
+	w.b.WriteString(n.Local)
 }
+
+// isInsignificantWS reports whether a text node is whitespace-only
+// (indentation) and therefore skipped by serialization.
+func isInsignificantWS(s string) bool { return strings.TrimSpace(s) == "" }
 
 func (w *writer) element(e *Element, depth int) {
 	if w.indent != "" && depth > 0 {
@@ -591,7 +615,7 @@ func (w *writer) element(e *Element, depth int) {
 		}
 	}
 	w.b.WriteByte('<')
-	w.b.WriteString(w.qname(e.Name))
+	w.writeName(e.Name)
 	if depth == 0 {
 		// Declare every prefix on the root for a self-contained document.
 		uris := make([]string, 0, len(w.prefixes))
@@ -600,29 +624,45 @@ func (w *writer) element(e *Element, depth int) {
 		}
 		sort.Strings(uris)
 		for _, uri := range uris {
-			fmt.Fprintf(w.b, ` xmlns:%s="%s"`, w.prefixes[uri], escapeAttr(uri))
+			w.b.WriteString(" xmlns:")
+			w.b.WriteString(w.prefixes[uri])
+			w.b.WriteString(`="`)
+			w.escapeAttr(uri)
+			w.b.WriteByte('"')
 		}
 	}
 	for _, a := range e.Attrs {
-		fmt.Fprintf(w.b, ` %s="%s"`, w.qname(a.Name), escapeAttr(a.Value))
+		w.b.WriteByte(' ')
+		w.writeName(a.Name)
+		w.b.WriteString(`="`)
+		w.escapeAttr(a.Value)
+		w.b.WriteByte('"')
 	}
-	sig := significantChildren(e)
-	if len(sig) == 0 {
+	// Classify children without materializing the significant-child slice:
+	// whitespace-only text nodes (indentation) are not significant.
+	hasSig, textOnly := false, true
+	for _, n := range e.children {
+		switch n := n.(type) {
+		case Text:
+			if !isInsignificantWS(string(n)) {
+				hasSig = true
+			}
+		case *Element:
+			hasSig = true
+			textOnly = false
+		}
+	}
+	if !hasSig {
 		w.b.WriteString("/>")
 		return
 	}
 	w.b.WriteByte('>')
-	textOnly := true
-	for _, n := range sig {
-		if _, ok := n.(*Element); ok {
-			textOnly = false
-			break
-		}
-	}
-	for _, n := range sig {
+	for _, n := range e.children {
 		switch n := n.(type) {
 		case Text:
-			w.b.WriteString(escapeText(string(n)))
+			if !isInsignificantWS(string(n)) {
+				w.escapeText(string(n))
+			}
 		case *Element:
 			w.element(n, depth+1)
 		}
@@ -634,21 +674,64 @@ func (w *writer) element(e *Element, depth int) {
 		}
 	}
 	w.b.WriteString("</")
-	w.b.WriteString(w.qname(e.Name))
+	w.writeName(e.Name)
 	w.b.WriteByte('>')
 }
 
-func escapeText(s string) string {
-	var b bytes.Buffer
-	if err := xml.EscapeText(&b, []byte(s)); err != nil {
-		return s
-	}
-	return b.String()
+// plainTextByte reports whether byte c can be emitted in character data
+// verbatim: printable ASCII with no markup significance. Anything else
+// (escapable characters, control bytes, multi-byte runes) takes the slow
+// path through encoding/xml's escaper so output stays byte-identical with
+// the standard library's rules.
+func plainTextByte(c byte) bool {
+	return c >= 0x20 && c < 0x80 && c != '&' && c != '<' && c != '>' && c != '"' && c != '\''
 }
 
-func escapeAttr(s string) string {
-	r := strings.NewReplacer(`&`, "&amp;", `<`, "&lt;", `>`, "&gt;", `"`, "&quot;")
-	return r.Replace(s)
+// escapeText writes character data into the buffer, escaping exactly as
+// encoding/xml.EscapeText does. The common all-plain-ASCII case is written
+// directly with no allocation.
+func (w *writer) escapeText(s string) {
+	plain := true
+	for i := 0; i < len(s); i++ {
+		if !plainTextByte(s[i]) {
+			plain = false
+			break
+		}
+	}
+	if plain {
+		w.b.WriteString(s)
+		return
+	}
+	w.scratch = append(w.scratch[:0], s...)
+	if err := xml.EscapeText(&w.b, w.scratch); err != nil {
+		w.b.WriteString(s)
+	}
+}
+
+// escapeAttr writes an attribute value, escaping &, <, > and the quote
+// character (the historical output format of this package). The common
+// clean case is written directly with no allocation.
+func (w *writer) escapeAttr(s string) {
+	start := 0
+	for i := 0; i < len(s); i++ {
+		var repl string
+		switch s[i] {
+		case '&':
+			repl = "&amp;"
+		case '<':
+			repl = "&lt;"
+		case '>':
+			repl = "&gt;"
+		case '"':
+			repl = "&quot;"
+		default:
+			continue
+		}
+		w.b.WriteString(s[start:i])
+		w.b.WriteString(repl)
+		start = i + 1
+	}
+	w.b.WriteString(s[start:])
 }
 
 // QNameValue renders name as a lexical QName for use in content, declaring

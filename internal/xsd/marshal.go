@@ -1,7 +1,6 @@
 package xsd
 
 import (
-	"fmt"
 	"reflect"
 	"strings"
 
@@ -13,6 +12,10 @@ import (
 // struct field lives in the schema's target namespace. A nil pointer field
 // is omitted (minOccurs="0"); a slice field repeats its element
 // (maxOccurs="unbounded").
+//
+// Both directions run through compiled per-type plans (see plan.go): the
+// reflect.Type is walked once, and every subsequent call uses the cached
+// closure tree.
 
 // fieldName returns the element local name for a struct field, honouring a
 // leading name in the `xml` struct tag. It reports skip=true for fields
@@ -37,121 +40,16 @@ func fieldName(f reflect.StructField) (name string, skip bool) {
 }
 
 // AppendValue appends the XML representation of v to parent as one or more
-// child elements named {ns}name.
+// child elements named {ns}name, using the compiled plan for v's type.
 func AppendValue(parent *xmlutil.Element, ns, name string, v reflect.Value) error {
-	t := v.Type()
-
-	// []byte is a simple type, not a repeated element.
-	if t == bytesType || t == timeType {
-		s, err := EncodeSimple(v)
-		if err != nil {
-			return err
-		}
-		parent.NewChild(xmlutil.N(ns, name)).SetText(s)
-		return nil
-	}
-
-	switch t.Kind() {
-	case reflect.Ptr:
-		if v.IsNil() {
-			return nil // minOccurs="0"
-		}
-		return AppendValue(parent, ns, name, v.Elem())
-
-	case reflect.Interface:
-		if v.IsNil() {
-			return nil
-		}
-		return AppendValue(parent, ns, name, v.Elem())
-
-	case reflect.Slice, reflect.Array:
-		for i := 0; i < v.Len(); i++ {
-			if err := AppendValue(parent, ns, name, v.Index(i)); err != nil {
-				return fmt.Errorf("xsd: element %d of %s: %w", i, name, err)
-			}
-		}
-		return nil
-
-	case reflect.Struct:
-		el := parent.NewChild(xmlutil.N(ns, name))
-		for i := 0; i < t.NumField(); i++ {
-			f := t.Field(i)
-			fn, skip := fieldName(f)
-			if skip {
-				continue
-			}
-			if err := AppendValue(el, ns, fn, v.Field(i)); err != nil {
-				return fmt.Errorf("xsd: field %s.%s: %w", t.Name(), f.Name, err)
-			}
-		}
-		return nil
-
-	case reflect.Map, reflect.Chan, reflect.Func, reflect.UnsafePointer, reflect.Complex64, reflect.Complex128:
-		return fmt.Errorf("xsd: unsupported Go type %s", t)
-
-	default:
-		s, err := EncodeSimple(v)
-		if err != nil {
-			return err
-		}
-		parent.NewChild(xmlutil.N(ns, name)).SetText(s)
-		return nil
-	}
+	return EncoderForType(v.Type())(parent, ns, name, v)
 }
 
 // ExtractValue decodes the child element(s) of parent named {ns}name into a
-// new Go value of type t. Missing optional values yield zero values (nil for
-// pointers and slices).
+// new Go value of type t, using the compiled plan for t. Missing optional
+// values yield zero values (nil for pointers and slices).
 func ExtractValue(parent *xmlutil.Element, ns, name string, t reflect.Type) (reflect.Value, error) {
-	qn := xmlutil.N(ns, name)
-
-	if t == bytesType || t == timeType {
-		el := childAnyNS(parent, qn)
-		if el == nil {
-			return reflect.Zero(t), nil
-		}
-		return DecodeSimple(el.TrimmedText(), t)
-	}
-
-	switch t.Kind() {
-	case reflect.Ptr:
-		if childAnyNS(parent, qn) == nil {
-			return reflect.Zero(t), nil
-		}
-		inner, err := ExtractValue(parent, ns, name, t.Elem())
-		if err != nil {
-			return reflect.Value{}, err
-		}
-		p := reflect.New(t.Elem())
-		p.Elem().Set(inner)
-		return p, nil
-
-	case reflect.Slice:
-		els := childrenAnyNS(parent, qn)
-		out := reflect.MakeSlice(t, 0, len(els))
-		for i, el := range els {
-			item, err := decodeElement(el, ns, t.Elem())
-			if err != nil {
-				return reflect.Value{}, fmt.Errorf("xsd: element %d of %s: %w", i, name, err)
-			}
-			out = reflect.Append(out, item)
-		}
-		return out, nil
-
-	case reflect.Struct:
-		el := childAnyNS(parent, qn)
-		if el == nil {
-			return reflect.Zero(t), nil
-		}
-		return decodeElement(el, ns, t)
-
-	default:
-		el := childAnyNS(parent, qn)
-		if el == nil {
-			return reflect.Zero(t), nil
-		}
-		return decodeElement(el, ns, t)
-	}
+	return DecoderForType(t)(parent, ns, name)
 }
 
 // lexicalText extracts the element text to decode: strings keep their
@@ -162,43 +60,6 @@ func lexicalText(el *xmlutil.Element, t reflect.Type) string {
 		return el.Text()
 	}
 	return el.TrimmedText()
-}
-
-// decodeElement decodes a single element that directly represents a value of
-// type t (the element is already located).
-func decodeElement(el *xmlutil.Element, ns string, t reflect.Type) (reflect.Value, error) {
-	if t == bytesType || t == timeType {
-		return DecodeSimple(el.TrimmedText(), t)
-	}
-	switch t.Kind() {
-	case reflect.Ptr:
-		inner, err := decodeElement(el, ns, t.Elem())
-		if err != nil {
-			return reflect.Value{}, err
-		}
-		p := reflect.New(t.Elem())
-		p.Elem().Set(inner)
-		return p, nil
-	case reflect.Struct:
-		v := reflect.New(t).Elem()
-		for i := 0; i < t.NumField(); i++ {
-			f := t.Field(i)
-			fn, skip := fieldName(f)
-			if skip {
-				continue
-			}
-			fv, err := ExtractValue(el, ns, fn, f.Type)
-			if err != nil {
-				return reflect.Value{}, fmt.Errorf("xsd: field %s.%s: %w", t.Name(), f.Name, err)
-			}
-			v.Field(i).Set(fv)
-		}
-		return v, nil
-	case reflect.Slice, reflect.Array:
-		return reflect.Value{}, fmt.Errorf("xsd: nested slices are not supported (wrap the inner slice in a struct)")
-	default:
-		return DecodeSimple(lexicalText(el, t), t)
-	}
 }
 
 // childAnyNS finds a child by exact name, falling back to a local-name match

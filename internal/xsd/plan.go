@@ -1,0 +1,337 @@
+package xsd
+
+// Compiled type plans. AppendValue and ExtractValue used to re-walk a Go
+// type with package reflect on every call — per message, per parameter.
+// This file compiles each reflect.Type once into a closure tree (an
+// Encoder or Decoder) that is cached in a sync.Map, the same strategy
+// encoding/json uses: struct tags are parsed once, field offsets and
+// sub-plans are captured at compile time, and the per-call work reduces to
+// direct closure invocations.
+//
+// Invariants:
+//   - Compiled plans are immutable and safely shared by any number of
+//     goroutines.
+//   - Concurrent (and recursive) first-touch compilation of a type is
+//     safe: a placeholder that blocks until the real plan is published is
+//     installed in the cache while building, so self-referential types
+//     terminate and racing goroutines wait instead of duplicating work.
+//   - Plans are keyed by reflect.Type only; the target namespace and
+//     element name stay per-call parameters, so one plan serves every
+//     service.
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"wspeer/internal/xmlutil"
+)
+
+// Encoder appends the XML representation of a value of the compiled type
+// to parent as zero or more child elements named {ns}name.
+type Encoder func(parent *xmlutil.Element, ns, name string, v reflect.Value) error
+
+// Decoder extracts the child element(s) of parent named {ns}name into a
+// new Go value of the compiled type. Missing optional values yield zero
+// values (nil for pointers and slices).
+type Decoder func(parent *xmlutil.Element, ns, name string) (reflect.Value, error)
+
+// elemDecoder decodes one already-located element into a value of the
+// compiled type (the counterpart of the old decodeElement).
+type elemDecoder func(el *xmlutil.Element, ns string) (reflect.Value, error)
+
+var (
+	encoderCache     sync.Map // reflect.Type -> Encoder
+	decoderCache     sync.Map // reflect.Type -> Decoder
+	elemDecoderCache sync.Map // reflect.Type -> elemDecoder
+)
+
+// EncoderForType returns the compiled encoder for t, building and caching
+// it on first use. The returned Encoder is safe for concurrent use.
+func EncoderForType(t reflect.Type) Encoder {
+	if f, ok := encoderCache.Load(t); ok {
+		return f.(Encoder)
+	}
+	var (
+		wg sync.WaitGroup
+		fn Encoder
+	)
+	wg.Add(1)
+	placeholder := Encoder(func(parent *xmlutil.Element, ns, name string, v reflect.Value) error {
+		wg.Wait()
+		return fn(parent, ns, name, v)
+	})
+	if actual, loaded := encoderCache.LoadOrStore(t, placeholder); loaded {
+		return actual.(Encoder)
+	}
+	fn = buildEncoder(t)
+	wg.Done()
+	encoderCache.Store(t, fn)
+	return fn
+}
+
+// DecoderForType returns the compiled decoder for t, building and caching
+// it on first use. The returned Decoder is safe for concurrent use.
+func DecoderForType(t reflect.Type) Decoder {
+	if f, ok := decoderCache.Load(t); ok {
+		return f.(Decoder)
+	}
+	var (
+		wg sync.WaitGroup
+		fn Decoder
+	)
+	wg.Add(1)
+	placeholder := Decoder(func(parent *xmlutil.Element, ns, name string) (reflect.Value, error) {
+		wg.Wait()
+		return fn(parent, ns, name)
+	})
+	if actual, loaded := decoderCache.LoadOrStore(t, placeholder); loaded {
+		return actual.(Decoder)
+	}
+	fn = buildDecoder(t)
+	wg.Done()
+	decoderCache.Store(t, fn)
+	return fn
+}
+
+func elemDecoderFor(t reflect.Type) elemDecoder {
+	if f, ok := elemDecoderCache.Load(t); ok {
+		return f.(elemDecoder)
+	}
+	var (
+		wg sync.WaitGroup
+		fn elemDecoder
+	)
+	wg.Add(1)
+	placeholder := elemDecoder(func(el *xmlutil.Element, ns string) (reflect.Value, error) {
+		wg.Wait()
+		return fn(el, ns)
+	})
+	if actual, loaded := elemDecoderCache.LoadOrStore(t, placeholder); loaded {
+		return actual.(elemDecoder)
+	}
+	fn = buildElemDecoder(t)
+	wg.Done()
+	elemDecoderCache.Store(t, fn)
+	return fn
+}
+
+// ---------------------------------------------------------------------------
+// Encoder compilation
+
+// structFieldPlan is one marshallable field of a compiled struct type.
+type structFieldPlan struct {
+	elemName string // XML element local name (tag-aware)
+	goName   string // Go field name, for error messages
+	index    int
+}
+
+type encFieldPlan struct {
+	structFieldPlan
+	enc Encoder
+}
+
+func encodeSimpleElement(parent *xmlutil.Element, ns, name string, v reflect.Value) error {
+	s, err := EncodeSimple(v)
+	if err != nil {
+		return err
+	}
+	parent.NewChild(xmlutil.N(ns, name)).SetText(s)
+	return nil
+}
+
+func buildEncoder(t reflect.Type) Encoder {
+	// []byte and time.Time are simple types, not repeated/struct elements.
+	if t == bytesType || t == timeType {
+		return encodeSimpleElement
+	}
+
+	switch t.Kind() {
+	case reflect.Ptr:
+		elem := EncoderForType(t.Elem())
+		return func(parent *xmlutil.Element, ns, name string, v reflect.Value) error {
+			if v.IsNil() {
+				return nil // minOccurs="0"
+			}
+			return elem(parent, ns, name, v.Elem())
+		}
+
+	case reflect.Interface:
+		// The dynamic type is only known per value; resolve its plan at
+		// call time (cache hit after the first value of each type).
+		return func(parent *xmlutil.Element, ns, name string, v reflect.Value) error {
+			if v.IsNil() {
+				return nil
+			}
+			iv := v.Elem()
+			return EncoderForType(iv.Type())(parent, ns, name, iv)
+		}
+
+	case reflect.Slice, reflect.Array:
+		elem := EncoderForType(t.Elem())
+		return func(parent *xmlutil.Element, ns, name string, v reflect.Value) error {
+			for i := 0; i < v.Len(); i++ {
+				if err := elem(parent, ns, name, v.Index(i)); err != nil {
+					return fmt.Errorf("xsd: element %d of %s: %w", i, name, err)
+				}
+			}
+			return nil
+		}
+
+	case reflect.Struct:
+		fields := make([]encFieldPlan, 0, t.NumField())
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			fn, skip := fieldName(f)
+			if skip {
+				continue
+			}
+			fields = append(fields, encFieldPlan{
+				structFieldPlan: structFieldPlan{elemName: fn, goName: f.Name, index: i},
+				enc:             EncoderForType(f.Type),
+			})
+		}
+		typeName := t.Name()
+		return func(parent *xmlutil.Element, ns, name string, v reflect.Value) error {
+			el := parent.NewChild(xmlutil.N(ns, name))
+			for i := range fields {
+				fp := &fields[i]
+				if err := fp.enc(el, ns, fp.elemName, v.Field(fp.index)); err != nil {
+					return fmt.Errorf("xsd: field %s.%s: %w", typeName, fp.goName, err)
+				}
+			}
+			return nil
+		}
+
+	case reflect.Map, reflect.Chan, reflect.Func, reflect.UnsafePointer, reflect.Complex64, reflect.Complex128:
+		return func(*xmlutil.Element, string, string, reflect.Value) error {
+			return fmt.Errorf("xsd: unsupported Go type %s", t)
+		}
+
+	default:
+		return encodeSimpleElement
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Decoder compilation
+
+func buildDecoder(t reflect.Type) Decoder {
+	if t == bytesType || t == timeType {
+		return func(parent *xmlutil.Element, ns, name string) (reflect.Value, error) {
+			el := childAnyNS(parent, xmlutil.N(ns, name))
+			if el == nil {
+				return reflect.Zero(t), nil
+			}
+			return DecodeSimple(el.TrimmedText(), t)
+		}
+	}
+
+	switch t.Kind() {
+	case reflect.Ptr:
+		inner := DecoderForType(t.Elem())
+		elemType := t.Elem()
+		return func(parent *xmlutil.Element, ns, name string) (reflect.Value, error) {
+			if childAnyNS(parent, xmlutil.N(ns, name)) == nil {
+				return reflect.Zero(t), nil
+			}
+			iv, err := inner(parent, ns, name)
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			p := reflect.New(elemType)
+			p.Elem().Set(iv)
+			return p, nil
+		}
+
+	case reflect.Slice:
+		elemDec := elemDecoderFor(t.Elem())
+		return func(parent *xmlutil.Element, ns, name string) (reflect.Value, error) {
+			els := childrenAnyNS(parent, xmlutil.N(ns, name))
+			out := reflect.MakeSlice(t, 0, len(els))
+			for i, el := range els {
+				item, err := elemDec(el, ns)
+				if err != nil {
+					return reflect.Value{}, fmt.Errorf("xsd: element %d of %s: %w", i, name, err)
+				}
+				out = reflect.Append(out, item)
+			}
+			return out, nil
+		}
+
+	default: // structs and simple kinds share the locate-then-decode shape
+		elemDec := elemDecoderFor(t)
+		return func(parent *xmlutil.Element, ns, name string) (reflect.Value, error) {
+			el := childAnyNS(parent, xmlutil.N(ns, name))
+			if el == nil {
+				return reflect.Zero(t), nil
+			}
+			return elemDec(el, ns)
+		}
+	}
+}
+
+type decFieldPlan struct {
+	structFieldPlan
+	dec Decoder
+}
+
+func buildElemDecoder(t reflect.Type) elemDecoder {
+	if t == bytesType || t == timeType {
+		return func(el *xmlutil.Element, ns string) (reflect.Value, error) {
+			return DecodeSimple(el.TrimmedText(), t)
+		}
+	}
+
+	switch t.Kind() {
+	case reflect.Ptr:
+		inner := elemDecoderFor(t.Elem())
+		elemType := t.Elem()
+		return func(el *xmlutil.Element, ns string) (reflect.Value, error) {
+			iv, err := inner(el, ns)
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			p := reflect.New(elemType)
+			p.Elem().Set(iv)
+			return p, nil
+		}
+
+	case reflect.Struct:
+		fields := make([]decFieldPlan, 0, t.NumField())
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			fn, skip := fieldName(f)
+			if skip {
+				continue
+			}
+			fields = append(fields, decFieldPlan{
+				structFieldPlan: structFieldPlan{elemName: fn, goName: f.Name, index: i},
+				dec:             DecoderForType(f.Type),
+			})
+		}
+		typeName := t.Name()
+		return func(el *xmlutil.Element, ns string) (reflect.Value, error) {
+			v := reflect.New(t).Elem()
+			for i := range fields {
+				fp := &fields[i]
+				fv, err := fp.dec(el, ns, fp.elemName)
+				if err != nil {
+					return reflect.Value{}, fmt.Errorf("xsd: field %s.%s: %w", typeName, fp.goName, err)
+				}
+				v.Field(fp.index).Set(fv)
+			}
+			return v, nil
+		}
+
+	case reflect.Slice, reflect.Array:
+		return func(*xmlutil.Element, string) (reflect.Value, error) {
+			return reflect.Value{}, fmt.Errorf("xsd: nested slices are not supported (wrap the inner slice in a struct)")
+		}
+
+	default:
+		return func(el *xmlutil.Element, ns string) (reflect.Value, error) {
+			return DecodeSimple(lexicalText(el, t), t)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package xsd
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"wspeer/internal/xmlutil"
+)
+
+// TestPlanCacheConcurrentFirstTouch hammers the compiled-codec caches
+// from many goroutines with the same fresh types, under the race
+// detector: compilation must happen observably once and every caller
+// must get a working codec (the placeholder pattern must not deadlock or
+// return a half-built plan).
+func TestPlanCacheConcurrentFirstTouch(t *testing.T) {
+	type leaf struct {
+		S string
+		N int64
+	}
+	type node struct {
+		L    leaf
+		Tags []string
+		Next *node // self-referential: compiles through the placeholder
+	}
+	in := node{
+		L:    leaf{S: "hello", N: 42},
+		Tags: []string{"a", "b"},
+		Next: &node{L: leaf{S: "inner", N: 7}},
+	}
+	const ns = "urn:t"
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			parent := xmlutil.NewElement(xmlutil.N(ns, "wrap"))
+			if err := AppendValue(parent, ns, "v", reflect.ValueOf(in)); err != nil {
+				t.Error(err)
+				return
+			}
+			got, err := ExtractValue(parent, ns, "v", reflect.TypeOf(in))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out := got.Interface().(node)
+			if out.L.S != "hello" || out.Next == nil || out.Next.L.N != 7 || len(out.Tags) != 2 {
+				t.Errorf("round trip mangled: %+v", out)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPlanCacheDistinctTypesConcurrent compiles many distinct types at
+// once so first-touch compilation itself races against other builds.
+func TestPlanCacheDistinctTypesConcurrent(t *testing.T) {
+	types := []interface{}{
+		struct{ A string }{"x"},
+		struct{ B int32 }{5},
+		struct{ C []bool }{[]bool{true}},
+		struct{ D *string }{},
+		struct {
+			E float64
+			F struct{ G string }
+		}{},
+	}
+	const ns = "urn:t"
+	var wg sync.WaitGroup
+	for _, v := range types {
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(v interface{}) {
+				defer wg.Done()
+				parent := xmlutil.NewElement(xmlutil.N(ns, "wrap"))
+				if err := AppendValue(parent, ns, "v", reflect.ValueOf(v)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ExtractValue(parent, ns, "v", reflect.TypeOf(v)); err != nil {
+					t.Error(err)
+				}
+			}(v)
+		}
+	}
+	wg.Wait()
+}

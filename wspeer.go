@@ -17,6 +17,12 @@
 // or mixing bindings does not change it. See the examples/ directory for
 // runnable programs and DESIGN.md for the architecture.
 //
+// Invocation and dispatch run on a zero-allocation fast path: WSDL
+// operation details are memoized per Definitions, XSD encode/decode plans
+// are compiled once per Go type, envelopes render through pooled XML
+// writers, and the HTTP transports share a tuned keep-alive connection
+// pool. See DESIGN.md ("The invocation fast path") for the invariants.
+//
 // # Quick start
 //
 //	peer := wspeer.NewPeer()
