@@ -5,7 +5,7 @@
 GO ?= go
 BENCH_BASELINE ?= bench_baseline.json
 
-.PHONY: all build vet test race bench bench-baseline bench-compare harness examples loc clean check
+.PHONY: all build vet test race bench bench-baseline bench-compare harness chaos examples loc clean check
 
 all: build vet test
 
@@ -39,9 +39,17 @@ bench-baseline:
 bench-compare:
 	$(GO) run ./cmd/benchharness -experiments A3 -bench-compare $(BENCH_BASELINE)
 
-# Regenerate every experiment table (E1-E10, A1-A2).
+# Regenerate every experiment table (E1-E10, A1-A3, R1).
 harness:
 	$(GO) run ./cmd/benchharness
+
+# The deterministic chaos suite (DESIGN.md §10): seeded fault injection on
+# a real HTTP invoke path with breaker+failover, resilience state-machine
+# tests, and server overload shedding — all under the race detector. The
+# seeds are fixed in the tests; every run reproduces the same fault
+# schedule bit for bit.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Overload|Breaker|Admission|Injector' . ./internal/resilience/ ./internal/httpd/
 
 # Run every example program once.
 examples:

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	which := flag.String("experiments", "all", "comma-separated experiment IDs (E1..E10) or 'all'")
+	which := flag.String("experiments", "all", "comma-separated experiment IDs (E1..E10, A1..A3, R1) or 'all'")
 	seed := flag.Int64("seed", 42, "deterministic seed for simulated experiments")
 	peersFlag := flag.String("peers", "32,128,512", "network sizes for E5 (comma-separated)")
 	queries := flag.Int("queries", 100, "queries per configuration for E5/E6")
@@ -42,6 +42,7 @@ func main() {
 		wanted["A1"] = true
 		wanted["A2"] = true
 		wanted["A3"] = true
+		wanted["R1"] = true
 	} else {
 		for _, id := range strings.Split(*which, ",") {
 			wanted[strings.ToUpper(strings.TrimSpace(id))] = true
@@ -118,6 +119,11 @@ func main() {
 		rows, err := experiments.RunChainDepth([]int{0, 4, 16, 64}, *iters)
 		check(err)
 		experiments.ChainDepthTable(rows).Print(os.Stdout)
+	}
+	if wanted["R1"] {
+		rows, err := experiments.RunResilienceSweep(*seed, 300, []float64{0, 0.1, 0.3})
+		check(err)
+		experiments.ResilienceTable(rows).Print(os.Stdout)
 	}
 	if wanted["A3"] || *benchJSON != "" || *benchCompare != "" {
 		rs, err := experiments.RunAllocBenches()

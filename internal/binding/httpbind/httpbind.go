@@ -19,6 +19,7 @@ import (
 	"wspeer/internal/httpd"
 	"wspeer/internal/pipeline"
 	"wspeer/internal/query"
+	"wspeer/internal/resilience"
 	"wspeer/internal/transport"
 	"wspeer/internal/uddi"
 	"wspeer/internal/wsdl"
@@ -43,6 +44,11 @@ type Options struct {
 	// ShutdownTimeout bounds how long closing the HTTP host waits for
 	// in-flight requests (default 2s; see httpd.Options).
 	ShutdownTimeout time.Duration
+	// Admission, when non-nil, installs server-side admission control on
+	// the engine: shed requests are answered with a SOAP Server fault on
+	// HTTP 503 + Retry-After, and closing the binding drains in-flight
+	// dispatches first (see httpd.Options.Admission).
+	Admission *resilience.Admission
 }
 
 // Binding bundles the standard implementation's components.
@@ -82,6 +88,7 @@ func New(opts Options) (*Binding, error) {
 			Profile:         opts.Profile,
 			Secret:          opts.Secret,
 			ShutdownTimeout: opts.ShutdownTimeout,
+			Admission:       opts.Admission,
 		}),
 		categories: make(map[string][]uddi.KeyedReference),
 	}

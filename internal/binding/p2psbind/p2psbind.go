@@ -10,6 +10,7 @@ import (
 	"wspeer/internal/engine"
 	"wspeer/internal/p2ps"
 	"wspeer/internal/pipeline"
+	"wspeer/internal/resilience"
 	"wspeer/internal/soap"
 	"wspeer/internal/transport"
 	"wspeer/internal/wsaddr"
@@ -288,8 +289,14 @@ func (b *Binding) handleRequest(ds *deployedService, data []byte) {
 	}
 	resp, err := b.eng.ServeRequest(context.Background(), ds.name, req)
 	if err != nil {
+		f := soap.ServerFault(err)
+		if o, ok := resilience.AsOverload(err); ok {
+			// The P2PS equivalent of HTTP 503 + Retry-After: a Server
+			// fault whose detail advertises the backoff in seconds.
+			f = o.Fault()
+		}
 		resp = &transport.Response{
-			Body:    soap.NewEnvelope().SetFault(soap.ServerFault(err)).Marshal(),
+			Body:    soap.NewEnvelope().SetFault(f).Marshal(),
 			Faulted: true,
 		}
 	}

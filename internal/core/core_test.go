@@ -118,6 +118,7 @@ type recorder struct {
 	client     []ClientMessageEvent
 	server     []ServerMessageEvent
 	deployment []DeploymentMessageEvent
+	health     []HealthEvent
 }
 
 func (r *recorder) OnDiscoveryMessage(e DiscoveryEvent) {
@@ -144,6 +145,11 @@ func (r *recorder) OnDeploymentMessage(e DeploymentMessageEvent) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.deployment = append(r.deployment, e)
+}
+func (r *recorder) OnHealthMessage(e HealthEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.health = append(r.health, e)
 }
 
 func echoDef() engine.ServiceDef {

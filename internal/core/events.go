@@ -61,6 +61,16 @@ type DeploymentMessageEvent struct {
 	Err        error
 }
 
+// HealthEvent reports an endpoint health-state transition observed by the
+// client's resilience layer — a circuit breaker moving between closed,
+// open and half-open. From/To are resilience.BreakerState strings
+// ("closed", "open", "half-open").
+type HealthEvent struct {
+	Endpoint string
+	From     string
+	To       string
+}
+
 // PeerMessageListener is the application's window onto the interface tree:
 // "Each of the interfaces below the Peer fire an event as the result of its
 // activities and these events are brought together by the
@@ -71,6 +81,7 @@ type PeerMessageListener interface {
 	OnClientMessage(ClientMessageEvent)
 	OnServerMessage(ServerMessageEvent)
 	OnDeploymentMessage(DeploymentMessageEvent)
+	OnHealthMessage(HealthEvent)
 }
 
 // ListenerFuncs adapts individual callbacks to PeerMessageListener; nil
@@ -81,6 +92,7 @@ type ListenerFuncs struct {
 	Client     func(ClientMessageEvent)
 	Server     func(ServerMessageEvent)
 	Deployment func(DeploymentMessageEvent)
+	Health     func(HealthEvent)
 }
 
 // OnDiscoveryMessage implements PeerMessageListener.
@@ -115,6 +127,13 @@ func (l ListenerFuncs) OnServerMessage(e ServerMessageEvent) {
 func (l ListenerFuncs) OnDeploymentMessage(e DeploymentMessageEvent) {
 	if l.Deployment != nil {
 		l.Deployment(e)
+	}
+}
+
+// OnHealthMessage implements PeerMessageListener.
+func (l ListenerFuncs) OnHealthMessage(e HealthEvent) {
+	if l.Health != nil {
+		l.Health(e)
 	}
 }
 
@@ -177,6 +196,12 @@ func (b *eventBus) fireServer(e ServerMessageEvent) {
 func (b *eventBus) fireDeployment(e DeploymentMessageEvent) {
 	for _, l := range b.snapshot() {
 		l.OnDeploymentMessage(e)
+	}
+}
+
+func (b *eventBus) fireHealth(e HealthEvent) {
+	for _, l := range b.snapshot() {
+		l.OnHealthMessage(e)
 	}
 }
 
@@ -271,4 +296,9 @@ func (q *QueuedListener) OnServerMessage(e ServerMessageEvent) {
 // OnDeploymentMessage implements PeerMessageListener.
 func (q *QueuedListener) OnDeploymentMessage(e DeploymentMessageEvent) {
 	q.enqueue(func() { q.inner.OnDeploymentMessage(e) })
+}
+
+// OnHealthMessage implements PeerMessageListener.
+func (q *QueuedListener) OnHealthMessage(e HealthEvent) {
+	q.enqueue(func() { q.inner.OnHealthMessage(e) })
 }

@@ -8,6 +8,7 @@ import (
 
 	"wspeer/internal/engine"
 	"wspeer/internal/pipeline"
+	"wspeer/internal/resilience"
 	"wspeer/internal/transport"
 )
 
@@ -37,6 +38,7 @@ func NewPeer() *Peer {
 			Err:       c.Err,
 		})
 	}))
+	p.client.ConfigureBreakers(resilience.BreakerOptions{})
 	p.server = &Server{peer: p, deployments: make(map[string]*Deployment), published: make(map[string][]publication)}
 	return p
 }
@@ -79,6 +81,7 @@ type Client struct {
 	mu       sync.RWMutex
 	locators []ServiceLocator
 	invokers map[string]Invoker // by endpoint scheme
+	breakers *resilience.Group  // endpoint health registry
 }
 
 // Use installs client-side pipeline interceptors (Deadline, Retry,
@@ -86,6 +89,34 @@ type Client struct {
 // client, existing Invocations included. Earlier-installed interceptors
 // run outermost.
 func (c *Client) Use(ics ...pipeline.Interceptor) { c.chain.Use(ics...) }
+
+// ConfigureBreakers replaces the client's endpoint health registry with
+// one built from opts. Breaker state transitions always reach the peer's
+// event tree as HealthEvents, composed after any OnChange in opts. Call
+// it before invoking: existing breakers (and their accumulated state) are
+// discarded.
+func (c *Client) ConfigureBreakers(opts resilience.BreakerOptions) {
+	user := opts.OnChange
+	opts.OnChange = func(ep string, from, to resilience.BreakerState) {
+		if user != nil {
+			user(ep, from, to)
+		}
+		c.peer.bus.fireHealth(HealthEvent{Endpoint: ep, From: from.String(), To: to.String()})
+	}
+	g := resilience.NewGroup(opts)
+	c.mu.Lock()
+	c.breakers = g
+	c.mu.Unlock()
+}
+
+// Breakers returns the client's endpoint health registry: one circuit
+// breaker per endpoint this client has invoked with failover (or that an
+// installed Group interceptor has guarded).
+func (c *Client) Breakers() *resilience.Group {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.breakers
+}
 
 // Pipeline exposes the client-side interceptor chain.
 func (c *Client) Pipeline() *pipeline.Chain { return c.chain }
@@ -190,28 +221,77 @@ func (c *Client) LocateOne(ctx context.Context, q ServiceQuery) (*ServiceInfo, e
 // NewInvocation binds an invocation to a located service, selecting the
 // invoker by the endpoint's URI scheme.
 func (c *Client) NewInvocation(svc *ServiceInfo) (*Invocation, error) {
+	t, err := c.resolveTarget(svc)
+	if err != nil {
+		return nil, err
+	}
+	return &Invocation{client: c, targets: []invTarget{t}}, nil
+}
+
+// NewFailoverInvocation binds an invocation to several located endpoints
+// for one logical service — typically the same service discovered through
+// different bindings (an HTTP endpoint and a P2PS pipe address). Targets
+// are tried in the given preference order; an endpoint whose circuit
+// breaker is open is skipped, and a substrate failure (as judged by
+// resilience.Classify) fails over to the next target. Application-level
+// SOAP faults and caller cancellation never fail over. Each attempt's
+// outcome feeds the endpoint's breaker, so health transitions surface as
+// HealthEvents on the peer's event tree.
+func (c *Client) NewFailoverInvocation(svcs ...*ServiceInfo) (*Invocation, error) {
+	if len(svcs) == 0 {
+		return nil, fmt.Errorf("core: failover invocation needs at least one service")
+	}
+	inv := &Invocation{client: c, targets: make([]invTarget, 0, len(svcs))}
+	for _, svc := range svcs {
+		t, err := c.resolveTarget(svc)
+		if err != nil {
+			return nil, err
+		}
+		inv.targets = append(inv.targets, t)
+	}
+	return inv, nil
+}
+
+// resolveTarget selects the invoker for a service's endpoint scheme.
+func (c *Client) resolveTarget(svc *ServiceInfo) (invTarget, error) {
 	if svc == nil || svc.Endpoint == "" {
-		return nil, fmt.Errorf("core: service info has no endpoint")
+		return invTarget{}, fmt.Errorf("core: service info has no endpoint")
 	}
 	scheme := transport.SchemeOf(svc.Endpoint)
 	c.mu.RLock()
 	inv, ok := c.invokers[scheme]
 	c.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("core: no invoker registered for scheme %q (endpoint %s)", scheme, svc.Endpoint)
+		return invTarget{}, fmt.Errorf("core: no invoker registered for scheme %q (endpoint %s)", scheme, svc.Endpoint)
 	}
-	return &Invocation{client: c, svc: svc, invoker: inv}, nil
+	return invTarget{svc: svc, invoker: inv}, nil
 }
 
-// Invocation is a client-side handle on one located service.
-type Invocation struct {
-	client  *Client
+// invTarget pairs one endpoint with its scheme-selected invoker.
+type invTarget struct {
 	svc     *ServiceInfo
 	invoker Invoker
 }
 
-// Service returns the target service.
-func (inv *Invocation) Service() *ServiceInfo { return inv.svc }
+// Invocation is a client-side handle on one located service, or — when
+// created with NewFailoverInvocation — on an ordered set of endpoints for
+// the same logical service.
+type Invocation struct {
+	client  *Client
+	targets []invTarget // preference order; [0] is the primary
+}
+
+// Service returns the primary target service.
+func (inv *Invocation) Service() *ServiceInfo { return inv.targets[0].svc }
+
+// Endpoints returns the bound endpoints in preference order.
+func (inv *Invocation) Endpoints() []string {
+	out := make([]string, len(inv.targets))
+	for i, t := range inv.targets {
+		out[i] = t.svc.Endpoint
+	}
+	return out
+}
 
 // MetaResult is the pipeline Meta key under which the client terminal
 // publishes the invocation's decoded *engine.Result for observing
@@ -221,26 +301,83 @@ const MetaResult = "core.result"
 
 // Invoke calls an operation synchronously through the client's call
 // pipeline; the terminal stage is the scheme-selected invoker (and, for
-// wire-aware invokers, the transport its exchange rides on). The exchange
-// is reported as a ClientMessageEvent from the pipeline's Events stage.
+// wire-aware invokers, the transport its exchange rides on) — or, for
+// failover invocations, the target walk described on
+// NewFailoverInvocation. The exchange is reported as a ClientMessageEvent
+// from the pipeline's Events stage.
 func (inv *Invocation) Invoke(ctx context.Context, op string, params ...engine.Param) (*engine.Result, error) {
-	c := &pipeline.Call{Ctx: ctx, Dir: pipeline.ClientCall, Service: inv.svc.Name, Op: op}
+	primary := inv.targets[0]
+	c := &pipeline.Call{Ctx: ctx, Dir: pipeline.ClientCall, Service: primary.svc.Name, Op: op}
+	c.SetMeta(resilience.MetaEndpoint, primary.svc.Endpoint)
 	var res *engine.Result
-	err := inv.client.chain.Run(c, func(c *pipeline.Call) error {
-		res = nil // a retried attempt must not leak its predecessor's result
-		var err error
-		if ci, ok := inv.invoker.(CallInvoker); ok {
-			res, err = ci.InvokeCall(c, inv.svc, op, params)
-		} else {
-			res, err = inv.invoker.Invoke(c.Ctx, inv.svc, op, params)
-		}
-		c.SetMeta(MetaResult, res)
-		return err
-	})
+	var err error
+	if len(inv.targets) == 1 {
+		err = inv.client.chain.Run(c, func(c *pipeline.Call) error {
+			res = nil // a retried attempt must not leak its predecessor's result
+			var err error
+			res, err = invokeTarget(c, primary, op, params)
+			c.SetMeta(MetaResult, res)
+			return err
+		})
+	} else {
+		// The failover walk records breaker outcomes per attempt; tell an
+		// installed Group interceptor to stand aside.
+		c.SetMeta(resilience.MetaBreakerHandled, true)
+		err = inv.client.chain.Run(c, func(c *pipeline.Call) error {
+			res = nil
+			var err error
+			res, err = inv.invokeFailover(c, op, params)
+			c.SetMeta(MetaResult, res)
+			return err
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// invokeTarget performs one attempt against one endpoint.
+func invokeTarget(c *pipeline.Call, t invTarget, op string, params []engine.Param) (*engine.Result, error) {
+	if ci, ok := t.invoker.(CallInvoker); ok {
+		return ci.InvokeCall(c, t.svc, op, params)
+	}
+	return t.invoker.Invoke(c.Ctx, t.svc, op, params)
+}
+
+// invokeFailover walks the targets in preference order: endpoints with an
+// open breaker are skipped, substrate failures advance to the next
+// target, and every attempt's outcome feeds its endpoint's breaker. The
+// returned error is the last attempt's (or last refusal's) when no
+// target succeeds.
+func (inv *Invocation) invokeFailover(c *pipeline.Call, op string, params []engine.Param) (*engine.Result, error) {
+	group := inv.client.Breakers()
+	var lastErr error
+	for _, t := range inv.targets {
+		if ctxErr := c.Ctx.Err(); ctxErr != nil {
+			if lastErr == nil {
+				lastErr = ctxErr
+			}
+			break
+		}
+		br := group.Breaker(t.svc.Endpoint)
+		if !br.Allow() {
+			lastErr = &resilience.BreakerOpenError{Endpoint: t.svc.Endpoint}
+			continue
+		}
+		c.SetMeta(resilience.MetaEndpoint, t.svc.Endpoint)
+		c.Request, c.Response = nil, nil
+		res, err := invokeTarget(c, t, op, params)
+		resilience.Observe(br, err)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if resilience.Classify(err) != resilience.Failure {
+			break // an application fault or cancellation: not the substrate's doing
+		}
+	}
+	return nil, lastErr
 }
 
 // InvokeAsync calls an operation without blocking; the outcome arrives at

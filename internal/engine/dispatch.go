@@ -156,6 +156,14 @@ func (e *Engine) Handler(serviceName string) transport.Handler {
 // interceptor refusing the call — yields a Go error. One-way requests
 // produce an empty response.
 func (e *Engine) ServeRequest(ctx context.Context, serviceName string, req *transport.Request) (*transport.Response, error) {
+	if a := e.admission.Load(); a != nil {
+		// Admission gates the whole dispatch — interceptors included — so
+		// a shed request costs nothing but the refusal.
+		if err := a.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer a.Release()
+	}
 	c := &pipeline.Call{
 		Ctx:     ctx,
 		Dir:     pipeline.ServerDispatch,

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"wspeer/internal/pipeline"
+	"wspeer/internal/resilience"
 	"wspeer/internal/wsdl"
 	"wspeer/internal/xsd"
 )
@@ -128,6 +129,10 @@ type Engine struct {
 	understoodMu sync.RWMutex
 	understood   map[string]bool
 
+	// admission, when set, gates every ServeRequest — from any host the
+	// engine is attached to — behind server-side admission control.
+	admission atomic.Pointer[resilience.Admission]
+
 	nRequests atomic.Int64
 	nFaults   atomic.Int64
 	nOneWay   atomic.Int64
@@ -171,6 +176,17 @@ func (e *Engine) Use(ics ...pipeline.Interceptor) { e.pipe.Use(ics...) }
 
 // Pipeline exposes the engine's server-side interceptor chain.
 func (e *Engine) Pipeline() *pipeline.Chain { return e.pipe }
+
+// SetAdmission installs (or, with nil, removes) server-side admission
+// control: every ServeRequest first claims a dispatch slot and callers
+// the controller sheds get a *resilience.OverloadError instead of
+// processing — which hosts translate to their binding's overload signal
+// (HTTP 503 + Retry-After, a P2PS fault message). Safe to call with
+// requests in flight.
+func (e *Engine) SetAdmission(a *resilience.Admission) { e.admission.Store(a) }
+
+// Admission returns the installed admission controller, or nil.
+func (e *Engine) Admission() *resilience.Admission { return e.admission.Load() }
 
 // Deploy registers a service definition, making it invokable.
 func (e *Engine) Deploy(def ServiceDef) (*Service, error) {

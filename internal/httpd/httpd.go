@@ -17,16 +17,19 @@ package httpd
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"wspeer/internal/engine"
+	"wspeer/internal/resilience"
 	"wspeer/internal/soap"
 	"wspeer/internal/transport"
 	"wspeer/internal/wsdl"
@@ -60,6 +63,10 @@ type Options struct {
 	// ShutdownTimeout bounds how long Close waits for in-flight requests
 	// to drain before forcing the listener down (default 2s).
 	ShutdownTimeout time.Duration
+	// Admission, when non-nil, is installed on the engine at construction
+	// and drained by Close: requests the controller sheds are answered
+	// with a SOAP Server fault on HTTP 503 plus a Retry-After header.
+	Admission *resilience.Admission
 }
 
 // Host exposes an engine's services over HTTP without a container.
@@ -88,6 +95,9 @@ func New(eng *engine.Engine, opts Options) *Host {
 	}
 	if opts.ShutdownTimeout <= 0 {
 		opts.ShutdownTimeout = 2 * time.Second
+	}
+	if opts.Admission != nil {
+		eng.SetAdmission(opts.Admission)
 	}
 	return &Host{eng: eng, opts: opts, deployed: make(map[string]bool)}
 }
@@ -191,7 +201,9 @@ func (h *Host) ensureStarted() error {
 }
 
 // Close shuts the listener down, waiting up to Options.ShutdownTimeout
-// for in-flight requests to finish.
+// for in-flight requests to finish. With an admission controller
+// installed the host drains first: new dispatches are shed (503) while
+// accepted ones run to completion, then the listener goes down.
 func (h *Host) Close() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -202,7 +214,16 @@ func (h *Host) Close() error {
 	h.started = false
 	ctx, cancel := context.WithTimeout(context.Background(), h.opts.ShutdownTimeout)
 	defer cancel()
-	return h.srv.Shutdown(ctx)
+	var errs []error
+	if h.opts.Admission != nil {
+		if err := h.opts.Admission.Drain(ctx); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := h.srv.Shutdown(ctx); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 func (h *Host) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -296,6 +317,10 @@ func (h *Host) handle(w http.ResponseWriter, r *http.Request) {
 	if !handled {
 		resp, err = h.eng.ServeRequest(r.Context(), service, req)
 		if err != nil {
+			if o, ok := resilience.AsOverload(err); ok {
+				writeOverload(w, o)
+				return
+			}
 			writeFault(w, soap.ServerFault(err))
 			return
 		}
@@ -324,5 +349,16 @@ func writeFault(w http.ResponseWriter, f *soap.Fault) {
 	w.WriteHeader(http.StatusInternalServerError)
 	// MarshalTo streams through the pooled XML writer straight into the
 	// response, skipping the intermediate copy Marshal would make.
+	env.MarshalTo(w)
+}
+
+// writeOverload answers a shed request: a SOAP Server fault carried on
+// 503 Service Unavailable with a Retry-After header, so well-behaved
+// clients back off instead of hammering a saturated host.
+func writeOverload(w http.ResponseWriter, o *resilience.OverloadError) {
+	env := soap.NewEnvelope().SetFault(o.Fault())
+	w.Header().Set("Content-Type", soap.ContentType)
+	w.Header().Set("Retry-After", strconv.Itoa(o.RetryAfterSeconds()))
+	w.WriteHeader(http.StatusServiceUnavailable)
 	env.MarshalTo(w)
 }

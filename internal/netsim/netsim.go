@@ -26,6 +26,11 @@ type Link struct {
 	Jitter time.Duration
 	// Loss is the probability in [0,1] that a message is dropped.
 	Loss float64
+	// Fault, when set, lets a fault injector inspect each message that
+	// survived Loss and drop or further delay it (resilience.Injector's
+	// LinkFault adapts onto this). It composes after Loss and before
+	// Latency/Jitter; drops it requests are counted as Dropped.
+	Fault func(from, to string, data []byte) (drop bool, extra time.Duration)
 }
 
 // Stats aggregates message accounting for a run.
@@ -299,6 +304,14 @@ func (ep *Endpoint) Send(to string, data []byte) error {
 		return nil
 	}
 	delay := link.Latency
+	if link.Fault != nil {
+		drop, extra := link.Fault(ep.name, to, data)
+		if drop {
+			s.stats.Dropped++
+			return nil
+		}
+		delay += extra
+	}
 	if link.Jitter > 0 {
 		delay += time.Duration(s.rng.Int63n(int64(link.Jitter)))
 	}

@@ -6,10 +6,21 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // maxFrame bounds a single P2PS datagram over TCP.
 const maxFrame = 16 << 20
+
+// Timeouts keeping a black-holed peer from wedging a pipe: dials and
+// frame writes are bounded, and once a frame header arrives its body must
+// follow promptly. Waiting for the next header is NOT bounded — an idle
+// but healthy pipe stays up indefinitely.
+const (
+	dialTimeout  = 5 * time.Second
+	writeTimeout = 10 * time.Second
+	frameTimeout = 30 * time.Second
+)
 
 // TCPTransport carries P2PS datagrams over TCP with length-prefixed frames.
 // Connections are opened on demand per destination and reused; incoming
@@ -86,7 +97,7 @@ func (t *TCPTransport) Send(to string, data []byte) error {
 	t.mu.Unlock()
 	if !ok {
 		var err error
-		conn, err = net.Dial("tcp", to)
+		conn, err = (&net.Dialer{Timeout: dialTimeout}).Dial("tcp", to)
 		if err != nil {
 			return nil // unreachable destination: datagram drop
 		}
@@ -99,6 +110,7 @@ func (t *TCPTransport) Send(to string, data []byte) error {
 		}
 		t.mu.Unlock()
 	}
+	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 	if err := writeFrame(conn, data); err != nil {
 		// Connection went bad: forget it. The datagram is lost.
 		t.mu.Lock()
@@ -168,17 +180,22 @@ func writeFrame(w io.Writer, data []byte) error {
 	return err
 }
 
-func readFrame(r io.Reader) ([]byte, error) {
+func readFrame(conn net.Conn) ([]byte, error) {
+	// Waiting for the next frame is unbounded: idle pipes are legitimate.
+	conn.SetReadDeadline(time.Time{})
 	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
 		return nil, fmt.Errorf("p2ps: frame of %d bytes exceeds limit", n)
 	}
+	// A started frame must finish promptly; a peer that goes silent
+	// mid-frame would otherwise hold this read loop hostage forever.
+	conn.SetReadDeadline(time.Now().Add(frameTimeout))
 	data := make([]byte, n)
-	if _, err := io.ReadFull(r, data); err != nil {
+	if _, err := io.ReadFull(conn, data); err != nil {
 		return nil, err
 	}
 	return data, nil

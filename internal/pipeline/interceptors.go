@@ -120,6 +120,13 @@ func Retry(opts RetryOptions) Interceptor {
 	}
 	return func(next CallFunc) CallFunc {
 		return func(c *Call) error {
+			// A cancelled call gets no first attempt: the caller has
+			// already given up, and the terminal may not check promptly.
+			if c.Ctx != nil {
+				if err := c.Ctx.Err(); err != nil {
+					return err
+				}
+			}
 			delay := opts.BaseDelay
 			var err error
 			for attempt := 1; ; attempt++ {

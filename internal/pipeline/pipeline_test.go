@@ -227,6 +227,34 @@ func TestRetryClearsCarrierBetweenAttempts(t *testing.T) {
 	}
 }
 
+// TestRetrySkipsFirstAttemptWhenCancelled: a call whose context is already
+// dead gets no first attempt — the terminal (which may not check the
+// context promptly, or at all) must never run.
+func TestRetrySkipsFirstAttemptWhenCancelled(t *testing.T) {
+	attempts := 0
+	fn := Retry(RetryOptions{
+		Attempts:  3,
+		BaseDelay: time.Microsecond,
+		Retryable: func(*Call, error) bool { return true },
+		sleep:     func(context.Context, time.Duration) error { return nil },
+	})(func(c *Call) error {
+		attempts++
+		return nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := fn(&Call{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if attempts != 0 {
+		t.Fatalf("terminal ran %d times for a pre-cancelled call", attempts)
+	}
+	// A nil context (bare chain usage) must not panic.
+	if err := fn(&Call{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestEventsObservesOncePerLogicalCall(t *testing.T) {
 	var events []error
 	ic := Events(func(c *Call) { events = append(events, c.Err) })

@@ -1,0 +1,243 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"wspeer/internal/pipeline"
+	"wspeer/internal/soap"
+	"wspeer/internal/xmlutil"
+)
+
+// AdmissionOptions tunes server-side admission control.
+type AdmissionOptions struct {
+	// MaxConcurrent is the hard concurrency limit (default 64). The host
+	// never has more than this many dispatches in flight.
+	MaxConcurrent int
+	// MaxQueue is how many callers may wait for a slot beyond the limit
+	// (default 0: shed immediately when saturated).
+	MaxQueue int
+	// QueueTimeout bounds a queued caller's wait independently of its
+	// context deadline (default 0: wait as long as the context allows).
+	QueueTimeout time.Duration
+	// RetryAfter is the backoff advertised to shed callers (default 1s);
+	// httpd turns it into an HTTP Retry-After header.
+	RetryAfter time.Duration
+}
+
+func (o AdmissionOptions) withDefaults() AdmissionOptions {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 64
+	}
+	if o.MaxQueue < 0 {
+		o.MaxQueue = 0
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	return o
+}
+
+// OverloadError is returned to a caller the server refused to admit: the
+// queue was full, the caller's wait expired, or the host is draining.
+// Over the HTTP binding it becomes a SOAP Server fault carried on a 503
+// response with a Retry-After header.
+type OverloadError struct {
+	// Reason is a short human-readable cause ("queue full", "draining",
+	// "queue timeout", "deadline expired while queued").
+	Reason string
+	// RetryAfter is the advertised backoff.
+	RetryAfter time.Duration
+	cause      error
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("resilience: server overloaded (%s), retry after %s", e.Reason, e.RetryAfter)
+}
+
+// Unwrap exposes the underlying cause (a context error for expired
+// queue waits), so errors.Is(err, context.DeadlineExceeded) still works.
+func (e *OverloadError) Unwrap() error { return e.cause }
+
+// FaultNS is the namespace of resilience-layer SOAP fault details.
+const FaultNS = "http://wspeer.dev/resilience"
+
+// RetryAfterSeconds is the advertised backoff rounded up to whole
+// seconds, never less than 1 — the value httpd puts in the Retry-After
+// header and Fault puts in the detail element.
+func (e *OverloadError) RetryAfterSeconds() int {
+	s := int((e.RetryAfter + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Fault renders the overload as a SOAP Server fault whose detail carries
+// a <retryAfterSeconds> element — the binding-neutral form of HTTP's
+// Retry-After header, used by the P2PS binding where there is no status
+// line to carry the backoff.
+func (e *OverloadError) Fault() *soap.Fault {
+	f := soap.NewFault(soap.FaultServer, "%s", e.Error())
+	f.Detail = xmlutil.NewElement(xmlutil.N(FaultNS, "retryAfterSeconds")).
+		SetText(strconv.Itoa(e.RetryAfterSeconds()))
+	return f
+}
+
+// AsOverload unwraps err to an *OverloadError if one is in the chain.
+func AsOverload(err error) (*OverloadError, bool) {
+	var o *OverloadError
+	if errors.As(err, &o) {
+		return o, true
+	}
+	return nil, false
+}
+
+// AdmissionStats is a point-in-time admission counter snapshot.
+type AdmissionStats struct {
+	// InFlight is the number of currently admitted dispatches.
+	InFlight int
+	// Queued is the number of callers currently waiting for a slot.
+	Queued int
+	// Admitted counts dispatches ever admitted.
+	Admitted int64
+	// Shed counts callers refused (full queue, expired wait, draining).
+	Shed int64
+}
+
+// Admission is a server-side admission controller: a semaphore capping
+// concurrent dispatches, fronted by a bounded, deadline-aware wait queue.
+// Callers past the queue bound — or whose wait outlives QueueTimeout or
+// their context deadline — are shed with *OverloadError instead of piling
+// onto a saturated host. Drain flips it into shutdown mode: new work is
+// shed and Drain returns once in-flight dispatches finish.
+type Admission struct {
+	opts AdmissionOptions
+	sem  chan struct{}
+
+	queued   atomic.Int64
+	admitted atomic.Int64
+	shed     atomic.Int64
+	draining atomic.Bool
+}
+
+// NewAdmission returns an admission controller with no dispatches in
+// flight.
+func NewAdmission(opts AdmissionOptions) *Admission {
+	o := opts.withDefaults()
+	return &Admission{opts: o, sem: make(chan struct{}, o.MaxConcurrent)}
+}
+
+// Options returns the effective (defaulted) options.
+func (a *Admission) Options() AdmissionOptions { return a.opts }
+
+// Acquire claims a dispatch slot, queueing within the configured bounds.
+// A nil return MUST be balanced by Release. Non-nil returns are always
+// *OverloadError; when a queued wait expires against ctx, the error
+// wraps ctx.Err().
+func (a *Admission) Acquire(ctx context.Context) error {
+	if a.draining.Load() {
+		return a.refuse("draining", nil)
+	}
+	select {
+	case a.sem <- struct{}{}:
+		a.admitted.Add(1)
+		return nil
+	default:
+	}
+	// Saturated: join the wait queue if there is room.
+	for {
+		n := a.queued.Load()
+		if n >= int64(a.opts.MaxQueue) {
+			return a.refuse("queue full", nil)
+		}
+		if a.queued.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
+	defer a.queued.Add(-1)
+
+	var timeout <-chan time.Time
+	if a.opts.QueueTimeout > 0 {
+		t := time.NewTimer(a.opts.QueueTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case a.sem <- struct{}{}:
+		if a.draining.Load() {
+			<-a.sem
+			return a.refuse("draining", nil)
+		}
+		a.admitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		return a.refuse("deadline expired while queued", ctx.Err())
+	case <-timeout:
+		return a.refuse("queue timeout", nil)
+	}
+}
+
+// Release returns a slot claimed by a successful Acquire.
+func (a *Admission) Release() { <-a.sem }
+
+func (a *Admission) refuse(reason string, cause error) error {
+	a.shed.Add(1)
+	return &OverloadError{Reason: reason, RetryAfter: a.opts.RetryAfter, cause: cause}
+}
+
+// Stats returns a point-in-time snapshot of the controller.
+func (a *Admission) Stats() AdmissionStats {
+	return AdmissionStats{
+		InFlight: len(a.sem),
+		Queued:   int(a.queued.Load()),
+		Admitted: a.admitted.Load(),
+		Shed:     a.shed.Load(),
+	}
+}
+
+// Drain puts the controller into shutdown mode — all new work is shed —
+// and blocks until every in-flight dispatch has released its slot or ctx
+// expires. Hosts call it before closing their listeners so accepted work
+// finishes cleanly.
+func (a *Admission) Drain(ctx context.Context) error {
+	a.draining.Store(true)
+	// Claiming every slot proves no dispatch is still holding one.
+	held := 0
+	defer func() {
+		for ; held > 0; held-- {
+			<-a.sem
+		}
+	}()
+	for i := 0; i < a.opts.MaxConcurrent; i++ {
+		select {
+		case a.sem <- struct{}{}:
+			held++
+		case <-ctx.Done():
+			return fmt.Errorf("resilience: drain interrupted with %d dispatch(es) in flight: %w",
+				a.opts.MaxConcurrent-held, ctx.Err())
+		}
+	}
+	return nil
+}
+
+// Interceptor exposes admission control as a server-side pipeline stage
+// for hosts that run dispatch through a chain themselves; the engine
+// integration (Engine.SetAdmission) is the usual wiring and acquires
+// before any interceptor runs.
+func (a *Admission) Interceptor() pipeline.Interceptor {
+	return func(next pipeline.CallFunc) pipeline.CallFunc {
+		return func(c *pipeline.Call) error {
+			if err := a.Acquire(c.Ctx); err != nil {
+				return err
+			}
+			defer a.Release()
+			return next(c)
+		}
+	}
+}

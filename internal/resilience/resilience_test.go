@@ -1,0 +1,480 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wspeer/internal/netsim"
+	"wspeer/internal/pipeline"
+	"wspeer/internal/soap"
+	"wspeer/internal/transport"
+)
+
+// fakeClock is a manually advanced time source for deterministic
+// open→half-open transitions.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want Outcome
+	}{
+		{"nil", nil, Success},
+		{"soap fault", soap.NewFault(soap.FaultServer, "boom"), Success},
+		{"wrapped fault", fmt.Errorf("x: %w", soap.NewFault(soap.FaultClient, "bad")), Success},
+		{"canceled", context.Canceled, Skip},
+		{"breaker open", &BreakerOpenError{Endpoint: "http://x"}, Skip},
+		{"deadline", context.DeadlineExceeded, Failure},
+		{"transport", errors.New("connection refused"), Failure},
+		{"injected", fmt.Errorf("%w for endpoint x", ErrInjected), Failure},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// step is one scripted breaker interaction.
+type step struct {
+	advance   time.Duration // clock movement before the step
+	allow     bool          // expected Allow result
+	record    bool          // whether to Record (only when allowed)
+	success   bool          // the outcome to record
+	wantState BreakerState  // state after the step
+}
+
+// TestBreakerStateMachine walks the full state diagram:
+// closed→open→half-open→closed, and half-open→open on a probe failure.
+func TestBreakerStateMachine(t *testing.T) {
+	clock := newFakeClock()
+	var transitions []string
+	opts := BreakerOptions{
+		Window:           4,
+		FailureThreshold: 0.5,
+		MinSamples:       4,
+		OpenTimeout:      100 * time.Millisecond,
+		HalfOpenProbes:   1,
+		Now:              clock.Now,
+		OnChange: func(ep string, from, to BreakerState) {
+			transitions = append(transitions, fmt.Sprintf("%s->%s", from, to))
+		},
+	}
+	b := NewBreaker("http://primary", opts)
+
+	script := []step{
+		// Three failures among the first three calls: under MinSamples
+		// after 2, at threshold on the 4th sample.
+		{allow: true, record: true, success: false, wantState: BreakerClosed},
+		{allow: true, record: true, success: true, wantState: BreakerClosed},
+		{allow: true, record: true, success: false, wantState: BreakerClosed},
+		// 4th sample: 3/4 failures ≥ 0.5 → opens.
+		{allow: true, record: true, success: false, wantState: BreakerOpen},
+		// Open: refused until the timeout elapses.
+		{advance: 50 * time.Millisecond, allow: false, wantState: BreakerOpen},
+		// Timeout elapsed: half-open, one probe admitted...
+		{advance: 50 * time.Millisecond, allow: true, wantState: BreakerHalfOpen},
+		// ...and only one: a second concurrent probe is refused.
+		{allow: false, wantState: BreakerHalfOpen},
+	}
+	for i, s := range script {
+		if s.advance > 0 {
+			clock.Advance(s.advance)
+		}
+		if got := b.Allow(); got != s.allow {
+			t.Fatalf("step %d: Allow = %v, want %v", i, got, s.allow)
+		}
+		if s.allow && s.record {
+			b.Record(s.success)
+		}
+		if got := b.State(); got != s.wantState {
+			t.Fatalf("step %d: state = %v, want %v", i, got, s.wantState)
+		}
+	}
+
+	// Probe fails → re-open with a fresh timeout.
+	b.Record(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after failed probe: state = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("freshly re-opened breaker admitted a call")
+	}
+
+	// Second probe round succeeds → closed, with a clean window.
+	clock.Advance(100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe not admitted after re-open timeout")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	b.Record(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("after successful probe: state = %v, want closed", got)
+	}
+	// The reset window means one failure cannot re-open it.
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a call")
+	}
+	b.Record(false)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("one failure after reset re-opened the breaker: %v", got)
+	}
+
+	want := []string{
+		"closed->open",
+		"open->half-open",
+		"half-open->open",
+		"open->half-open",
+		"half-open->closed",
+	}
+	if strings.Join(transitions, ",") != strings.Join(want, ",") {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+}
+
+func TestBreakerWindowSlides(t *testing.T) {
+	b := NewBreaker("ep", BreakerOptions{Window: 4, FailureThreshold: 0.5, MinSamples: 4})
+	// Two failures that never share a window (threshold 0.5 of 4 needs two
+	// together) must not open the breaker: the first slides out before the
+	// second arrives.
+	outcomes := []bool{false, true, true, true, false, true}
+	for _, ok := range outcomes {
+		if !b.Allow() {
+			t.Fatal("breaker refused mid-sequence")
+		}
+		b.Record(ok)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed (failures aged out)", got)
+	}
+}
+
+func TestGroupInterceptor(t *testing.T) {
+	clock := newFakeClock()
+	g := NewGroup(BreakerOptions{
+		Window: 2, FailureThreshold: 0.5, MinSamples: 2,
+		OpenTimeout: time.Minute, Now: clock.Now,
+	})
+	boom := errors.New("transport down")
+	fail := true
+	chain := pipeline.NewChain(g.Interceptor())
+	call := func() error {
+		c := &pipeline.Call{Ctx: context.Background(), Service: "Echo"}
+		c.SetMeta(MetaEndpoint, "http://primary")
+		return chain.Run(c, func(c *pipeline.Call) error {
+			if fail {
+				return boom
+			}
+			return nil
+		})
+	}
+	if err := call(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if err := call(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// Breaker is open now: terminal must not run.
+	var open *BreakerOpenError
+	if err := call(); !errors.As(err, &open) || open.Endpoint != "http://primary" {
+		t.Fatalf("err = %v, want BreakerOpenError for http://primary", err)
+	}
+	if !g.Healthy("http://other") {
+		t.Fatal("unknown endpoint reported unhealthy")
+	}
+	if g.Healthy("http://primary") {
+		t.Fatal("open endpoint reported healthy")
+	}
+	// Probe after the timeout heals it.
+	clock.Advance(time.Minute)
+	fail = false
+	if err := call(); err != nil {
+		t.Fatalf("probe failed: %v", err)
+	}
+	if st := g.Snapshot()["http://primary"]; st != BreakerClosed {
+		t.Fatalf("state after probe = %v, want closed", st)
+	}
+}
+
+func TestGroupInterceptorRespectsHandledFlag(t *testing.T) {
+	g := NewGroup(BreakerOptions{Window: 2, FailureThreshold: 0.5, MinSamples: 1})
+	chain := pipeline.NewChain(g.Interceptor())
+	boom := errors.New("boom")
+	for i := 0; i < 5; i++ {
+		c := &pipeline.Call{Ctx: context.Background(), Service: "Echo"}
+		c.SetMeta(MetaEndpoint, "http://primary")
+		c.SetMeta(MetaBreakerHandled, true)
+		if err := chain.Run(c, func(c *pipeline.Call) error { return boom }); !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if len(g.Snapshot()) != 0 {
+		t.Fatalf("interceptor recorded outcomes despite the handled flag: %v", g.Snapshot())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Admission
+
+func TestAdmissionShedsBeyondQueue(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxConcurrent: 2, MaxQueue: 0, RetryAfter: 3 * time.Second})
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	err := a.Acquire(ctx)
+	o, ok := AsOverload(err)
+	if !ok {
+		t.Fatalf("err = %v, want OverloadError", err)
+	}
+	if o.RetryAfterSeconds() != 3 {
+		t.Fatalf("RetryAfterSeconds = %d, want 3", o.RetryAfterSeconds())
+	}
+	a.Release()
+	a.Release()
+	s := a.Stats()
+	if s.InFlight != 0 || s.Admitted != 2 || s.Shed != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestAdmissionQueuedCallRespectsDeadline(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxConcurrent: 1, MaxQueue: 4})
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := a.Acquire(ctx)
+	if _, ok := AsOverload(err); !ok {
+		t.Fatalf("err = %v, want OverloadError", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want to wrap context.DeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("queued call waited %v past its deadline", waited)
+	}
+	if q := a.Stats().Queued; q != 0 {
+		t.Fatalf("queued = %d after expired wait, want 0", q)
+	}
+}
+
+func TestAdmissionQueueHandsOffSlot(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxConcurrent: 1, MaxQueue: 1})
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- a.Acquire(context.Background()) }()
+	// Wait for the queuer to be parked, then free the slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Stats().Queued == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	a.Release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	a.Release()
+}
+
+func TestAdmissionDrain(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxConcurrent: 2, MaxQueue: 0})
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- a.Drain(ctx)
+	}()
+	// New work is shed while draining. Until the flag is visible a probe
+	// may still be admitted (release and retry) or collide with Drain over
+	// the spare slot ("queue full" — retry).
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		err := a.Acquire(context.Background())
+		if err == nil {
+			a.Release()
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		o, ok := AsOverload(err)
+		if !ok {
+			t.Fatalf("unexpected acquire error: %v", err)
+		}
+		if o.Reason == "draining" {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a.Release() // the in-flight dispatch finishes
+	if err := <-done; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestOverloadFaultCarriesRetryAfter(t *testing.T) {
+	o := &OverloadError{Reason: "queue full", RetryAfter: 1500 * time.Millisecond}
+	f := o.Fault()
+	if f.Code != soap.FaultServer {
+		t.Fatalf("fault code = %v, want Server", f.Code)
+	}
+	if f.Detail == nil || f.Detail.TrimmedText() != "2" {
+		t.Fatalf("fault detail = %v, want retryAfterSeconds 2", f.Detail)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Injector
+
+type countTransport struct {
+	scheme string
+	calls  int
+}
+
+func (c *countTransport) Scheme() string { return c.scheme }
+func (c *countTransport) Call(ctx context.Context, req *transport.Request) (*transport.Response, error) {
+	c.calls++
+	return &transport.Response{Body: req.Body}, nil
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	run := func() []bool {
+		in := NewInjector(7)
+		in.SetPlans(FaultPlan{Endpoint: "http://", ErrorRate: 0.4})
+		out := make([]bool, 0, 64)
+		for i := 0; i < 64; i++ {
+			err := in.apply(context.Background(), "http://primary/Echo")
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	faults := 0
+	for _, f := range a {
+		if f {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(a) {
+		t.Fatalf("fault mix = %d/%d, want a genuine mix at rate 0.4", faults, len(a))
+	}
+}
+
+func TestInjectorTransportAndMatching(t *testing.T) {
+	inner := &countTransport{scheme: "http"}
+	in := NewInjector(1)
+	in.SetPlans(FaultPlan{Endpoint: "http://bad", ErrorRate: 1})
+	tr := in.Transport(inner)
+	if tr.Scheme() != "http" {
+		t.Fatalf("scheme = %q", tr.Scheme())
+	}
+	_, err := tr.Call(context.Background(), &transport.Request{Endpoint: "http://bad/Echo"})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if inner.calls != 0 {
+		t.Fatal("faulted call reached the inner transport")
+	}
+	// Non-matching endpoints pass through and consume no randomness.
+	if _, err := tr.Call(context.Background(), &transport.Request{Endpoint: "http://good/Echo"}); err != nil {
+		t.Fatal(err)
+	}
+	if inner.calls != 1 {
+		t.Fatalf("inner calls = %d, want 1", inner.calls)
+	}
+	st := in.Stats()
+	if st.Calls != 2 || st.Faults != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInjectorHangRespectsContext(t *testing.T) {
+	in := NewInjector(1)
+	in.SetPlans(FaultPlan{HangRate: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.apply(ctx, "http://blackhole")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("hang outlived its context")
+	}
+}
+
+// TestInjectorNetsimComposition runs injected latency on the simulator's
+// virtual clock and injected drops on a simulated link, and checks the
+// whole composition reproduces bit-for-bit from the seeds.
+func TestInjectorNetsimComposition(t *testing.T) {
+	run := func() (delivered, dropped int64, elapsed time.Duration) {
+		sim := netsim.New(11)
+		in := NewInjector(12, InjectorOptions{AfterFunc: sim.AfterFunc})
+		in.SetPlans(FaultPlan{Endpoint: "b", ErrorRate: 0.3, Latency: 5 * time.Millisecond})
+		a, err := sim.NewEndpoint("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		bEP, err := sim.NewEndpoint("b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = bEP
+		sim.SetLink("a", "b", netsim.Link{Latency: time.Millisecond, Fault: in.LinkFault()})
+		for i := 0; i < 50; i++ {
+			if err := a.Send("b", []byte("m")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sim.Run(0)
+		st := sim.Stats()
+		return st.Delivered, st.Dropped, sim.Now()
+	}
+	d1, x1, t1 := run()
+	d2, x2, t2 := run()
+	if d1 != d2 || x1 != x2 || t1 != t2 {
+		t.Fatalf("same seeds diverged: (%d,%d,%v) vs (%d,%d,%v)", d1, x1, t1, d2, x2, t2)
+	}
+	if x1 == 0 || d1 == 0 {
+		t.Fatalf("delivered=%d dropped=%d, want a mix", d1, x1)
+	}
+}

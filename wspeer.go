@@ -53,6 +53,7 @@ import (
 	"wspeer/internal/flow"
 	"wspeer/internal/p2ps"
 	"wspeer/internal/pipeline"
+	"wspeer/internal/resilience"
 	"wspeer/internal/soap"
 	"wspeer/internal/transport"
 	"wspeer/internal/uddi"
@@ -120,6 +121,9 @@ type (
 	ServerMessageEvent = core.ServerMessageEvent
 	// DeploymentMessageEvent reports (un)deployments.
 	DeploymentMessageEvent = core.DeploymentMessageEvent
+	// HealthEvent reports endpoint health-state transitions (circuit
+	// breakers moving between closed, open and half-open).
+	HealthEvent = core.HealthEvent
 )
 
 // The unified call pipeline (see DESIGN.md "Call pipeline"): interceptors
@@ -168,6 +172,66 @@ func MarkIdempotent(c *PipelineCall) { pipeline.MarkIdempotent(c) }
 
 // Idempotent reports whether a call was flagged with MarkIdempotent.
 func Idempotent(c *PipelineCall) bool { return pipeline.Idempotent(c) }
+
+// The resilience layer (DESIGN.md §10): circuit breaking, cross-binding
+// failover (Client.NewFailoverInvocation), server-side admission control
+// and deterministic fault injection.
+type (
+	// Breaker is a per-endpoint circuit breaker.
+	Breaker = resilience.Breaker
+	// BreakerOptions tunes breakers (window, threshold, open timeout).
+	BreakerOptions = resilience.BreakerOptions
+	// BreakerState is closed, open or half-open.
+	BreakerState = resilience.BreakerState
+	// BreakerGroup is the per-client endpoint health registry
+	// (Client.Breakers); its Interceptor guards single-endpoint calls.
+	BreakerGroup = resilience.Group
+	// BreakerOpenError is the local refusal an open breaker returns.
+	BreakerOpenError = resilience.BreakerOpenError
+	// Admission is server-side admission control: a concurrency limit
+	// with a bounded, deadline-aware wait queue and load shedding.
+	Admission = resilience.Admission
+	// AdmissionOptions tunes admission control.
+	AdmissionOptions = resilience.AdmissionOptions
+	// AdmissionStats is a point-in-time admission snapshot.
+	AdmissionStats = resilience.AdmissionStats
+	// OverloadError is what shed callers receive (HTTP 503 + Retry-After
+	// on the standard binding).
+	OverloadError = resilience.OverloadError
+	// FaultInjector injects seeded, reproducible faults into transports,
+	// pipelines and netsim links.
+	FaultInjector = resilience.Injector
+	// FaultInjectorOptions configures a FaultInjector (virtual clock).
+	FaultInjectorOptions = resilience.InjectorOptions
+	// FaultPlan describes the faults to inject for matching endpoints.
+	FaultPlan = resilience.FaultPlan
+)
+
+// Circuit breaker states.
+const (
+	// BreakerClosed: calls flow normally.
+	BreakerClosed = resilience.BreakerClosed
+	// BreakerOpen: calls are refused locally.
+	BreakerOpen = resilience.BreakerOpen
+	// BreakerHalfOpen: probe calls decide between re-closing and
+	// re-opening.
+	BreakerHalfOpen = resilience.BreakerHalfOpen
+)
+
+// NewAdmission returns a server-side admission controller; install it via
+// HTTPOptions.Admission (or engine.SetAdmission for other hosts).
+func NewAdmission(opts AdmissionOptions) *Admission { return resilience.NewAdmission(opts) }
+
+// NewBreakerGroup returns a standalone endpoint breaker registry. The
+// per-client registry (Client.Breakers) is created automatically; use
+// Client.ConfigureBreakers to tune it.
+func NewBreakerGroup(opts BreakerOptions) *BreakerGroup { return resilience.NewGroup(opts) }
+
+// NewFaultInjector returns a deterministic fault injector drawing from
+// the seed.
+func NewFaultInjector(seed int64, opts ...FaultInjectorOptions) *FaultInjector {
+	return resilience.NewInjector(seed, opts...)
+}
 
 // Service definition and invocation payloads (messaging engine).
 type (
