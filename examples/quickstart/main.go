@@ -40,7 +40,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer providerBinding.Close()
-	providerBinding.Attach(provider)
+	if err := provider.AttachBinding(providerBinding); err != nil {
+		log.Fatal(err)
+	}
 
 	// Watch the provider's events: everything the interface tree does is
 	// observable through one listener (paper §III).
@@ -89,7 +91,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer consumerBinding.Close()
-	consumerBinding.Attach(consumer)
+	if err := consumer.AttachBinding(consumerBinding); err != nil {
+		log.Fatal(err)
+	}
 
 	info, err := consumer.Client().LocateOne(ctx, wspeer.NameQuery{Name: "Echo"})
 	if err != nil {

@@ -1,0 +1,345 @@
+// Package binding is the seam between WSPeer's substrate-neutral core and
+// its substrate bindings (httpbind, p2psbind, inmembind). The paper's
+// central architectural claim (§III/§IV) is that the locator, publisher,
+// deployer and invoker components are pluggable and mixable — "a P2PS
+// client could use the UDDI enabled ServiceLocator defined in the standard
+// implementation". This package makes that claim structural:
+//
+//   - core.Binding (aliased here) is the contract every substrate
+//     implements: Name, Schemes, Components, Attach/Detach, Use, Close;
+//   - Base carries the attach/detach choreography every binding used to
+//     copy-paste: wire the component bundle into the peer, forward the
+//     engine pipeline's server-side exchanges as ServerMessageEvents,
+//     undo exactly that on detach — idempotently in both directions;
+//   - Registry keys live bindings by name and endpoint scheme, so hosts
+//     can route "which binding serves p2ps://…?" without hard-coding;
+//   - ComposeClient builds a peer from explicitly mixed parts (a UDDI
+//     locator with a P2PS invoker, a P2PS locator with an HTTP invoker).
+//
+// A new substrate implements Components once, embeds *Base, and inherits
+// the full lifecycle — the conformance suite in bindtest then applies the
+// same deploy → publish → locate → invoke → fault → close contract to it
+// that the shipped bindings satisfy.
+package binding
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"wspeer/internal/core"
+	"wspeer/internal/engine"
+	"wspeer/internal/pipeline"
+)
+
+// Binding is the substrate-binding contract (defined in core so the peer
+// can manage attached bindings without importing this package).
+type Binding = core.Binding
+
+// Components is the pluggable-component bundle a binding contributes.
+type Components = core.Components
+
+// Base implements the generic half of the Binding contract — everything
+// except construction and Close, which remain substrate-specific. Concrete
+// bindings embed *Base and gain idempotent Attach/Detach, engine-pipeline
+// event forwarding and interceptor installation for free.
+type Base struct {
+	name    string
+	schemes []string
+	eng     *engine.Engine
+	comps   Components
+
+	mu       sync.Mutex
+	attached map[*core.Peer]bool
+
+	// target is the peer server-side exchanges are forwarded to as
+	// ServerMessageEvents. The last attached peer wins; detaching it stops
+	// forwarding. The forwarding interceptor itself is installed once per
+	// Base at construction, so repeated attach/detach cycles never stack
+	// duplicate interceptors on the engine.
+	target atomic.Pointer[core.Peer]
+}
+
+// NewBase wires the shared choreography for a binding: name and schemes
+// identify it, eng is the engine hosting its services, and comps is the
+// component bundle Attach installs. NewBase installs the Events choke
+// point on the engine pipeline that turns every hosted exchange into a
+// ServerMessageEvent on the attached peer.
+func NewBase(name string, schemes []string, eng *engine.Engine, comps Components) *Base {
+	b := &Base{
+		name:     name,
+		schemes:  append([]string(nil), schemes...),
+		eng:      eng,
+		comps:    comps,
+		attached: make(map[*core.Peer]bool),
+	}
+	eng.Use(pipeline.Events(func(c *pipeline.Call) {
+		if p := b.target.Load(); p != nil {
+			p.FireServerMessage(c.Service, c.Request, c.Response)
+		}
+	}))
+	return b
+}
+
+// Name implements Binding.
+func (b *Base) Name() string { return b.name }
+
+// Schemes implements Binding.
+func (b *Base) Schemes() []string { return append([]string(nil), b.schemes...) }
+
+// Components implements Binding.
+func (b *Base) Components() Components { return b.comps }
+
+// Engine exposes the underlying messaging engine.
+func (b *Base) Engine() *engine.Engine { return b.eng }
+
+// Attach implements Binding: the component bundle is wired into the peer —
+// deployer and publishers on the server side, locators and invokers on the
+// client side — and the peer becomes the target of the binding's
+// ServerMessageEvents. Attach is idempotent: a peer that is already
+// attached is left exactly as it is.
+func (b *Base) Attach(p *core.Peer) error {
+	b.mu.Lock()
+	if b.attached[p] {
+		b.mu.Unlock()
+		return nil
+	}
+	b.attached[p] = true
+	b.mu.Unlock()
+
+	c := b.comps
+	if c.Deployer != nil {
+		p.Server().SetDeployer(c.Deployer)
+	}
+	for _, pub := range c.Publishers {
+		p.Server().AddPublisher(pub)
+	}
+	for _, l := range c.Locators {
+		p.Client().AddLocator(l)
+	}
+	for _, inv := range c.Invokers {
+		p.Client().RegisterInvoker(inv)
+	}
+	b.target.Store(p)
+	return nil
+}
+
+// Detach implements Binding: it removes from the peer exactly what Attach
+// added — components and event forwarding — and nothing else. Components a
+// later binding took over (a replaced deployer, a re-registered scheme)
+// are left with their current owner. Detaching a peer that was never
+// attached is a no-op.
+func (b *Base) Detach(p *core.Peer) error {
+	b.mu.Lock()
+	if !b.attached[p] {
+		b.mu.Unlock()
+		return nil
+	}
+	delete(b.attached, p)
+	b.mu.Unlock()
+
+	c := b.comps
+	if c.Deployer != nil {
+		p.Server().RemoveDeployer(c.Deployer)
+	}
+	for _, pub := range c.Publishers {
+		p.Server().RemovePublisher(pub)
+	}
+	for _, l := range c.Locators {
+		p.Client().RemoveLocator(l)
+	}
+	for _, inv := range c.Invokers {
+		p.Client().UnregisterInvoker(inv)
+	}
+	b.target.CompareAndSwap(p, nil)
+	return nil
+}
+
+// Use implements Binding: interceptors are installed on the binding's
+// engine pipeline, so every hosted request — whichever host feeds the
+// engine — flows through them. Client-side interceptors belong on the
+// peer's Client (core.Client.Use).
+func (b *Base) Use(ics ...pipeline.Interceptor) { b.eng.Use(ics...) }
+
+// ---------------------------------------------------------------------------
+// Registry
+
+// Registry keys live bindings by name and by endpoint scheme — the lookup
+// a multi-substrate host needs to answer "which binding serves this
+// endpoint?" without hard-coding the substrate set.
+type Registry struct {
+	mu       sync.Mutex
+	byName   map[string]Binding
+	byScheme map[string]Binding
+	order    []string
+}
+
+// NewRegistry returns an empty binding registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byName:   make(map[string]Binding),
+		byScheme: make(map[string]Binding),
+	}
+}
+
+// Register adds a binding, claiming its name and every scheme it serves.
+// A name or scheme already claimed by another binding is an error and
+// leaves the registry unchanged.
+func (r *Registry) Register(b Binding) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[b.Name()]; dup {
+		return fmt.Errorf("binding: name %q already registered", b.Name())
+	}
+	schemes := b.Schemes()
+	for _, s := range schemes {
+		if prev, dup := r.byScheme[s]; dup {
+			return fmt.Errorf("binding: scheme %q already served by %q", s, prev.Name())
+		}
+	}
+	r.byName[b.Name()] = b
+	for _, s := range schemes {
+		r.byScheme[s] = b
+	}
+	r.order = append(r.order, b.Name())
+	return nil
+}
+
+// Deregister removes a binding by name, releasing its schemes; it returns
+// the removed binding (nil if the name was unknown).
+func (r *Registry) Deregister(name string) Binding {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.byName[name]
+	if !ok {
+		return nil
+	}
+	delete(r.byName, name)
+	for s, owner := range r.byScheme {
+		if owner == b {
+			delete(r.byScheme, s)
+		}
+	}
+	for i, n := range r.order {
+		if n == name {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return b
+}
+
+// ByName returns the binding registered under name, or nil.
+func (r *Registry) ByName(name string) Binding {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byName[name]
+}
+
+// ByScheme returns the binding serving an endpoint scheme, or nil.
+func (r *Registry) ByScheme(scheme string) Binding {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byScheme[scheme]
+}
+
+// Names lists registered binding names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// bindings snapshots the registered bindings in registration order.
+func (r *Registry) bindings() []Binding {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Binding, 0, len(r.order))
+	for _, n := range r.order {
+		out = append(out, r.byName[n])
+	}
+	return out
+}
+
+// AttachAll attaches every registered binding to the peer, in registration
+// order. The first error aborts the walk.
+func (r *Registry) AttachAll(p *core.Peer) error {
+	for _, b := range r.bindings() {
+		if err := p.AttachBinding(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DetachAll detaches every registered binding from the peer; errors are
+// collected, not short-circuited.
+func (r *Registry) DetachAll(p *core.Peer) error {
+	var errs []error
+	for _, b := range r.bindings() {
+		if err := p.DetachBinding(b); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", b.Name(), err))
+		}
+	}
+	return joinErrors(errs)
+}
+
+// Close closes every registered binding (registration order) and empties
+// the registry; errors are collected, not short-circuited.
+func (r *Registry) Close() error {
+	var errs []error
+	for _, b := range r.bindings() {
+		if err := b.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", b.Name(), err))
+		}
+		r.Deregister(b.Name())
+	}
+	return joinErrors(errs)
+}
+
+func joinErrors(errs []error) error {
+	switch len(errs) {
+	case 0:
+		return nil
+	case 1:
+		return errs[0]
+	default:
+		return fmt.Errorf("binding: %d errors, first: %w", len(errs), errs[0])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Composition
+
+// ComposeClient builds a peer whose client side is assembled from an
+// explicitly mixed component bundle — the paper's "P2PS client using the
+// UDDI locator" made first-class. The parts are wired exactly as a
+// binding's Attach would wire them, but drawn from any mix of donors:
+//
+//	mixed, _ := binding.ComposeClient(binding.Components{
+//	    Locators: []core.ServiceLocator{httpB.Locator()},   // find via UDDI
+//	    Invokers: []core.Invoker{p2psB.Invoker()},          // call over pipes
+//	})
+//
+// Server-side parts (Deployer, Publishers) may be included for mixed
+// providers. At least one locator or invoker is required — a client with
+// neither cannot do anything.
+func ComposeClient(parts Components) (*core.Peer, error) {
+	if len(parts.Locators) == 0 && len(parts.Invokers) == 0 {
+		return nil, fmt.Errorf("binding: composition needs at least one locator or invoker")
+	}
+	p := core.NewPeer()
+	if parts.Deployer != nil {
+		p.Server().SetDeployer(parts.Deployer)
+	}
+	for _, pub := range parts.Publishers {
+		p.Server().AddPublisher(pub)
+	}
+	for _, l := range parts.Locators {
+		p.Client().AddLocator(l)
+	}
+	for _, inv := range parts.Invokers {
+		p.Client().RegisterInvoker(inv)
+	}
+	return p, nil
+}

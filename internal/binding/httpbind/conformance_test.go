@@ -1,0 +1,34 @@
+package httpbind
+
+import (
+	"testing"
+
+	"wspeer/internal/binding/bindtest"
+	"wspeer/internal/core"
+)
+
+// TestConformance runs the shared binding conformance suite against the
+// HTTP/UDDI binding over real sockets: each fabric is one fresh UDDI
+// registry, and every peer is a fresh binding pointed at it.
+func TestConformance(t *testing.T) {
+	bindtest.Run(t, bindtest.World{
+		NewFabric: func(t *testing.T) *bindtest.Fabric {
+			uddiEndpoint, _ := startRegistry(t)
+			return &bindtest.Fabric{
+				NewPeer: func(t *testing.T) (*core.Peer, core.Binding) {
+					t.Helper()
+					b, err := New(Options{UDDIEndpoint: uddiEndpoint})
+					if err != nil {
+						t.Fatal(err)
+					}
+					t.Cleanup(func() { b.Close() })
+					p := core.NewPeer()
+					if err := p.AttachBinding(b); err != nil {
+						t.Fatal(err)
+					}
+					return p, b
+				},
+			}
+		},
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"wspeer/internal/binding"
 	"wspeer/internal/core"
 	"wspeer/internal/engine"
 	"wspeer/internal/httpd"
@@ -51,21 +52,17 @@ type Options struct {
 	Admission *resilience.Admission
 }
 
-// Binding bundles the standard implementation's components.
+// Binding bundles the standard implementation's components. The generic
+// attach/detach choreography and event forwarding come from the embedded
+// binding.Base; only the HTTP/UDDI substrate specifics live here.
 type Binding struct {
-	eng  *engine.Engine
+	*binding.Base
 	host *httpd.Host
 	reg  *transport.Registry
 	udc  *uddi.Client
 
 	mu         sync.Mutex
 	categories map[string][]uddi.KeyedReference
-	corePeer   *core.Peer
-
-	// eventsOnce guards the engine-pipeline Events installation so
-	// re-attaching the binding retargets events instead of duplicating
-	// the interceptor.
-	eventsOnce sync.Once
 }
 
 // New builds the binding. The HTTP host starts lazily on first deployment.
@@ -81,7 +78,6 @@ func New(opts Options) (*Binding, error) {
 		}
 	}
 	b := &Binding{
-		eng: opts.Engine,
 		reg: opts.Registry,
 		host: httpd.New(opts.Engine, httpd.Options{
 			ListenAddr:      opts.ListenAddr,
@@ -99,51 +95,25 @@ func New(opts Options) (*Binding, error) {
 		}
 		b.udc = udc
 	}
+	comps := binding.Components{
+		Deployer: b.Deployer(),
+		Invokers: []core.Invoker{b.Invoker()},
+	}
+	if b.udc != nil {
+		comps.Publishers = []core.ServicePublisher{b.Publisher()}
+		comps.Locators = []core.ServiceLocator{b.Locator()}
+	}
+	b.Base = binding.NewBase("http", []string{"http", "httpg", "mem"}, opts.Engine, comps)
 	return b, nil
 }
 
 // Host exposes the underlying container-less host (for interceptors).
 func (b *Binding) Host() *httpd.Host { return b.host }
 
-// Engine exposes the underlying messaging engine (for handler chains).
-func (b *Binding) Engine() *engine.Engine { return b.eng }
-
 // Registry exposes the client transport registry.
 func (b *Binding) Registry() *transport.Registry { return b.reg }
 
-// Attach wires the binding's components into a WSPeer peer: deployer and
-// invoker always; locator and publisher when a UDDI endpoint is
-// configured. Server-side raw exchanges are forwarded as
-// ServerMessageEvents from the engine pipeline's Events choke point.
-func (b *Binding) Attach(p *core.Peer) {
-	p.Server().SetDeployer(b.Deployer())
-	p.Client().RegisterInvoker(b.Invoker())
-	if b.udc != nil {
-		p.Server().AddPublisher(b.Publisher())
-		p.Client().AddLocator(b.Locator())
-	}
-	b.mu.Lock()
-	b.corePeer = p
-	b.mu.Unlock()
-	b.eventsOnce.Do(func() {
-		b.eng.Use(pipeline.Events(func(c *pipeline.Call) {
-			b.mu.Lock()
-			peer := b.corePeer
-			b.mu.Unlock()
-			if peer != nil {
-				peer.FireServerMessage(c.Service, c.Request, c.Response)
-			}
-		}))
-	})
-}
-
-// Use installs server-side pipeline interceptors on the binding's engine:
-// every hosted request — HTTP-posted or served through any other host
-// sharing the engine — flows through them. Client-side interceptors
-// belong on the peer's Client (core.Client.Use).
-func (b *Binding) Use(ics ...pipeline.Interceptor) { b.eng.Use(ics...) }
-
-// Close shuts the HTTP host down.
+// Close shuts the HTTP host down, draining in-flight requests.
 func (b *Binding) Close() error { return b.host.Close() }
 
 // ---------------------------------------------------------------------------
@@ -169,7 +139,7 @@ func (d deployer) Deploy(def engine.ServiceDef) (*core.Deployment, error) {
 		return nil, err
 	}
 	return &core.Deployment{
-		Service:     d.b.eng.Service(def.Name),
+		Service:     d.b.Engine().Service(def.Name),
 		Endpoint:    endpoint,
 		Definitions: defs,
 		Deployer:    "httpd",

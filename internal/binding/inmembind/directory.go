@@ -1,0 +1,163 @@
+package inmembind
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"wspeer/internal/core"
+	"wspeer/internal/query"
+	"wspeer/internal/wsdl"
+)
+
+// Record is one published service in a Directory.
+type Record struct {
+	// Name of the service.
+	Name string
+	// Description is optional human documentation.
+	Description string
+	// Endpoint the service is reachable at (mem://... for services the
+	// inmem deployer hosted; any scheme for foreign deployments).
+	Endpoint string
+	// Definitions is the service's WSDL.
+	Definitions *wsdl.Definitions
+	// Attrs feed attribute and expression queries.
+	Attrs map[string]string
+}
+
+// Directory is the inmem binding's registry: a process-local, thread-safe
+// store of service records. Provider and consumer bindings share one
+// Directory the way HTTP peers share a UDDI registry — passing the same
+// instance to both Options is what makes publication visible.
+type Directory struct {
+	mu      sync.Mutex
+	records map[string]*Record
+	nextID  int
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{records: make(map[string]*Record)}
+}
+
+// Publish stores a record and returns its location key.
+func (d *Directory) Publish(rec Record) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextID++
+	id := fmt.Sprintf("inmem:%d", d.nextID)
+	cp := rec
+	cp.Attrs = copyAttrs(rec.Attrs)
+	d.records[id] = &cp
+	return id
+}
+
+// Unpublish removes a record by location key, reporting whether it existed.
+func (d *Directory) Unpublish(id string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.records[id]
+	delete(d.records, id)
+	return ok
+}
+
+// Len reports how many records the directory holds.
+func (d *Directory) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.records)
+}
+
+// found is one directory match: the record plus its location key.
+type found struct {
+	id  string
+	rec Record
+}
+
+// find evaluates a core query over the directory. NameQuery matches name
+// pattern ('*' wildcards) plus attribute subset; ExprQuery compiles the
+// predicate and evaluates it over each record's name and attributes; any
+// other query matches by name pattern alone.
+func (d *Directory) find(q core.ServiceQuery) ([]found, error) {
+	var (
+		attrs map[string]string
+		expr  *query.Expr
+		limit int
+	)
+	pattern := q.QueryName()
+	switch qq := q.(type) {
+	case core.NameQuery:
+		attrs = qq.Attrs
+		limit = qq.MaxResults
+	case core.ExprQuery:
+		var err error
+		if expr, err = query.Compile(qq.Expr); err != nil {
+			return nil, fmt.Errorf("inmembind: %w", err)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []found
+	for id, rec := range d.records {
+		if !nameMatch(pattern, rec.Name) {
+			continue
+		}
+		if !attrsSubset(attrs, rec.Attrs) {
+			continue
+		}
+		if expr != nil && !expr.Matches(&query.Subject{Name: rec.Name, Attrs: rec.Attrs}) {
+			continue
+		}
+		out = append(out, found{id: id, rec: *rec})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// nameMatch matches a pattern with '*' multi-character wildcards; an empty
+// pattern matches everything, a bare name means exact match.
+func nameMatch(pattern, name string) bool {
+	if pattern == "" || pattern == "*" {
+		return true
+	}
+	parts := strings.Split(pattern, "*")
+	if len(parts) == 1 {
+		return pattern == name
+	}
+	if !strings.HasPrefix(name, parts[0]) {
+		return false
+	}
+	rest := name[len(parts[0]):]
+	for _, part := range parts[1 : len(parts)-1] {
+		idx := strings.Index(rest, part)
+		if idx < 0 {
+			return false
+		}
+		rest = rest[idx+len(part):]
+	}
+	return strings.HasSuffix(rest, parts[len(parts)-1])
+}
+
+// attrsSubset reports whether every wanted attribute is present with the
+// wanted value.
+func attrsSubset(want, have map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func copyAttrs(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

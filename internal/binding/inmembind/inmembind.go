@@ -1,0 +1,344 @@
+// Package inmembind is the third substrate binding: services are hosted on
+// the process-local in-memory network (transport.InMemNetwork), published
+// to a shared in-process Directory, located by querying it, and invoked
+// over the mem:// transport. It exists for two reasons: fast deterministic
+// tests of binding-generic code, and as the proof that the binding
+// abstraction holds — it implements exactly the same contract (and passes
+// the same conformance suite) as the HTTP and P2PS bindings.
+package inmembind
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"wspeer/internal/binding"
+	"wspeer/internal/core"
+	"wspeer/internal/engine"
+	"wspeer/internal/pipeline"
+	"wspeer/internal/resilience"
+	"wspeer/internal/soap"
+	"wspeer/internal/transport"
+	"wspeer/internal/wsdl"
+)
+
+// Options configures the in-memory binding.
+type Options struct {
+	// Engine hosts the services (a fresh engine when nil).
+	Engine *engine.Engine
+	// Network carries invocations. Share one network between provider and
+	// consumer bindings so mem:// endpoints resolve (a fresh, private
+	// network when nil).
+	Network *transport.InMemNetwork
+	// Directory is the shared registry analogue. Share one directory so
+	// publications are visible across bindings (a fresh one when nil).
+	Directory *Directory
+	// Host names this binding's endpoint authority: services deploy at
+	// mem://<host>/<service> (a unique generated name when empty).
+	Host string
+}
+
+// hostSeq generates distinct default host names within the process.
+var hostSeq atomic.Int64
+
+// Binding bundles the in-memory implementation's components. The generic
+// attach/detach choreography and event forwarding come from the embedded
+// binding.Base.
+type Binding struct {
+	*binding.Base
+	net  *transport.InMemNetwork
+	dir  *Directory
+	host string
+	reg  *transport.Registry
+
+	mu       sync.Mutex
+	deployed map[string]string // service -> endpoint
+	attrs    map[string]map[string]string
+	closed   bool
+
+	// inflight counts dispatches in progress so Close can drain them.
+	inflight sync.WaitGroup
+}
+
+// New builds the binding.
+func New(opts Options) (*Binding, error) {
+	if opts.Engine == nil {
+		opts.Engine = engine.New()
+	}
+	if opts.Network == nil {
+		opts.Network = transport.NewInMemNetwork()
+	}
+	if opts.Directory == nil {
+		opts.Directory = NewDirectory()
+	}
+	if opts.Host == "" {
+		opts.Host = fmt.Sprintf("peer-%d", hostSeq.Add(1))
+	}
+	reg := transport.NewRegistry()
+	reg.Register(opts.Network.Transport())
+	b := &Binding{
+		net:      opts.Network,
+		dir:      opts.Directory,
+		host:     opts.Host,
+		reg:      reg,
+		deployed: make(map[string]string),
+		attrs:    make(map[string]map[string]string),
+	}
+	b.Base = binding.NewBase("inmem", []string{"mem"}, opts.Engine, binding.Components{
+		Deployer:   b.Deployer(),
+		Publishers: []core.ServicePublisher{b.Publisher()},
+		Locators:   []core.ServiceLocator{b.Locator()},
+		Invokers:   []core.Invoker{b.Invoker()},
+	})
+	return b, nil
+}
+
+// Network exposes the in-memory network the binding serves on.
+func (b *Binding) Network() *transport.InMemNetwork { return b.net }
+
+// Directory exposes the binding's service directory.
+func (b *Binding) Directory() *Directory { return b.dir }
+
+// Registry exposes the client transport registry.
+func (b *Binding) Registry() *transport.Registry { return b.reg }
+
+// enter marks a dispatch in flight; it reports false once the binding has
+// been closed.
+func (b *Binding) enter() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return false
+	}
+	b.inflight.Add(1)
+	return true
+}
+
+// Close unregisters every deployed endpoint from the network, undeploys
+// the services from the engine and drains in-flight dispatches. Close is
+// idempotent.
+func (b *Binding) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	deployed := b.deployed
+	b.deployed = make(map[string]string)
+	b.mu.Unlock()
+
+	for name, endpoint := range deployed {
+		b.net.Unregister(endpoint)
+		b.Engine().Undeploy(name)
+	}
+	b.inflight.Wait()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Deployer
+
+type deployer struct{ b *Binding }
+
+// Deployer returns the in-memory deployer.
+func (b *Binding) Deployer() core.ServiceDeployer { return deployer{b} }
+
+// Name implements core.ServiceDeployer.
+func (d deployer) Name() string { return "inmem" }
+
+// Deploy implements core.ServiceDeployer: the service is registered on the
+// in-memory network at mem://<host>/<service>.
+func (d deployer) Deploy(def engine.ServiceDef) (*core.Deployment, error) {
+	b := d.b
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("inmembind: binding is closed")
+	}
+	b.mu.Unlock()
+	svc, err := b.Engine().Deploy(def)
+	if err != nil {
+		return nil, err
+	}
+	endpoint := "mem://" + b.host + "/" + def.Name
+	defs, err := svc.WSDL(wsdl.TransportInMem, endpoint)
+	if err != nil {
+		b.Engine().Undeploy(def.Name)
+		return nil, err
+	}
+	b.net.Register(endpoint, transport.HandlerFunc(func(ctx context.Context, req *transport.Request) (*transport.Response, error) {
+		if !b.enter() {
+			return nil, fmt.Errorf("inmembind: binding is closed")
+		}
+		defer b.inflight.Done()
+		resp, err := b.Engine().ServeRequest(ctx, def.Name, req)
+		if err != nil {
+			f := soap.ServerFault(err)
+			if o, ok := resilience.AsOverload(err); ok {
+				f = o.Fault()
+			}
+			return &transport.Response{
+				ContentType: soap.ContentType,
+				Body:        soap.NewEnvelope().SetFault(f).Marshal(),
+				Faulted:     true,
+			}, nil
+		}
+		return resp, nil
+	}))
+	b.mu.Lock()
+	b.deployed[def.Name] = endpoint
+	b.mu.Unlock()
+	return &core.Deployment{
+		Service:     svc,
+		Endpoint:    endpoint,
+		Definitions: defs,
+		Deployer:    "inmem",
+	}, nil
+}
+
+// Undeploy implements core.ServiceDeployer.
+func (d deployer) Undeploy(service string) error {
+	b := d.b
+	b.mu.Lock()
+	endpoint, ok := b.deployed[service]
+	delete(b.deployed, service)
+	b.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("inmembind: service %q not deployed", service)
+	}
+	b.net.Unregister(endpoint)
+	if !b.Engine().Undeploy(service) {
+		return fmt.Errorf("inmembind: engine had no service %q", service)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Publisher
+
+type publisher struct{ b *Binding }
+
+// Publisher returns the directory publisher.
+func (b *Binding) Publisher() core.ServicePublisher { return publisher{b} }
+
+// Name implements core.ServicePublisher.
+func (p publisher) Name() string { return "inmem" }
+
+// SetAttrs attaches attributes to a service's directory record when it is
+// published (the analogue of P2PS advert attributes and UDDI categories).
+// Call it before Publish.
+func (b *Binding) SetAttrs(service string, attrs map[string]string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.attrs[service] = attrs
+}
+
+// Publish implements core.ServicePublisher. Foreign deployments (made by
+// another binding's deployer) publish as-is: the record simply carries
+// their endpoint and definitions, whatever the scheme.
+func (p publisher) Publish(ctx context.Context, dep *core.Deployment) (string, error) {
+	b := p.b
+	name := dep.Service.Name()
+	attrs := map[string]string{"binding": "wspeer-inmem"}
+	b.mu.Lock()
+	for k, v := range b.attrs[name] {
+		attrs[k] = v
+	}
+	b.mu.Unlock()
+	return b.dir.Publish(Record{
+		Name:        name,
+		Description: "WSPeer-hosted service",
+		Endpoint:    dep.Endpoint,
+		Definitions: dep.Definitions,
+		Attrs:       attrs,
+	}), nil
+}
+
+// Unpublish implements core.ServicePublisher.
+func (p publisher) Unpublish(ctx context.Context, location string) error {
+	if !p.b.dir.Unpublish(location) {
+		return fmt.Errorf("inmembind: directory had no record %q", location)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Locator
+
+type locator struct{ b *Binding }
+
+// Locator returns the directory locator.
+func (b *Binding) Locator() core.ServiceLocator { return locator{b} }
+
+// Name implements core.ServiceLocator.
+func (l locator) Name() string { return "inmem" }
+
+// Locate implements core.ServiceLocator.
+func (l locator) Locate(ctx context.Context, q core.ServiceQuery, foundFn func(*core.ServiceInfo)) error {
+	matches, err := l.b.dir.find(q)
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		foundFn(&core.ServiceInfo{
+			Name:        m.rec.Name,
+			Description: m.rec.Description,
+			Definitions: m.rec.Definitions,
+			Endpoint:    m.rec.Endpoint,
+			Locator:     "inmem",
+			Meta:        map[string]string{"recordID": m.id},
+		})
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Invoker
+
+type invoker struct{ b *Binding }
+
+// Invoker returns the mem:// invoker.
+func (b *Binding) Invoker() core.Invoker { return invoker{b} }
+
+// Schemes implements core.Invoker.
+func (i invoker) Schemes() []string { return []string{"mem"} }
+
+// Invoke implements core.Invoker using a dynamic stub over the located
+// service's definitions.
+func (i invoker) Invoke(ctx context.Context, svc *core.ServiceInfo, op string, params []engine.Param) (*engine.Result, error) {
+	if svc.Definitions == nil {
+		return nil, fmt.Errorf("inmembind: service %q has no definitions", svc.Name)
+	}
+	stub := engine.NewStub(svc.Definitions, i.b.reg)
+	stub.EndpointOverride = svc.Endpoint
+	return stub.Invoke(ctx, op, params...)
+}
+
+// InvokeCall implements core.CallInvoker: the same exchange with the
+// wire-level request and response published on the pipeline carrier.
+func (i invoker) InvokeCall(c *pipeline.Call, svc *core.ServiceInfo, op string, params []engine.Param) (*engine.Result, error) {
+	if svc.Definitions == nil {
+		return nil, fmt.Errorf("inmembind: service %q has no definitions", svc.Name)
+	}
+	stub := engine.NewStub(svc.Definitions, i.b.reg)
+	stub.EndpointOverride = svc.Endpoint
+	req, det, err := stub.BuildRequest(op, params...)
+	if err != nil {
+		return nil, err
+	}
+	c.Request = req
+	resp, err := i.b.reg.Call(c.Ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	c.Response = resp
+	if det.Operation.OneWay() {
+		return nil, nil
+	}
+	return engine.DecodeResponse(resp.Body, det)
+}

@@ -1,0 +1,41 @@
+package p2psbind
+
+import (
+	"testing"
+	"time"
+
+	"wspeer/internal/binding/bindtest"
+	"wspeer/internal/core"
+	"wspeer/internal/p2ps"
+)
+
+// TestConformance runs the shared binding conformance suite against the
+// P2PS binding: each fabric is one fresh real-time overlay with its own
+// rendezvous peer, and every peer joins it through a fresh endpoint.
+func TestConformance(t *testing.T) {
+	bindtest.Run(t, bindtest.World{
+		NewFabric: func(t *testing.T) *bindtest.Fabric {
+			o := newOverlay(t)
+			return &bindtest.Fabric{
+				NewPeer: func(t *testing.T) (*core.Peer, core.Binding) {
+					t.Helper()
+					pp, err := p2ps.NewPeer(p2ps.Config{Transport: o.net.NewEndpoint(), Seeds: []string{o.rdv.Addr()}})
+					if err != nil {
+						t.Fatal(err)
+					}
+					t.Cleanup(func() { pp.Close() })
+					b, err := New(Options{Peer: pp, DiscoveryTimeout: 300 * time.Millisecond, ReplyTimeout: 5 * time.Second})
+					if err != nil {
+						t.Fatal(err)
+					}
+					t.Cleanup(func() { b.Close() })
+					p := core.NewPeer()
+					if err := p.AttachBinding(b); err != nil {
+						t.Fatal(err)
+					}
+					return p, b
+				},
+			}
+		},
+	})
+}

@@ -6,10 +6,10 @@ import (
 	"sync"
 	"time"
 
+	"wspeer/internal/binding"
 	"wspeer/internal/core"
 	"wspeer/internal/engine"
 	"wspeer/internal/p2ps"
-	"wspeer/internal/pipeline"
 	"wspeer/internal/resilience"
 	"wspeer/internal/soap"
 	"wspeer/internal/transport"
@@ -44,9 +44,18 @@ type Options struct {
 	Retries int
 }
 
-// Binding bundles the P2PS implementation's components.
+// EndpointAttr is the advertisement attribute carrying a foreign
+// deployment's endpoint URI when the P2PS publisher announces a service it
+// did not itself deploy (e.g. an HTTP-hosted service advertised over the
+// overlay). Locate surfaces such adverts with that endpoint, so a mixed
+// client can discover over P2PS and invoke over the endpoint's own scheme.
+const EndpointAttr = "endpoint"
+
+// Binding bundles the P2PS implementation's components. The generic
+// attach/detach choreography and event forwarding come from the embedded
+// binding.Base; only the pipe substrate specifics live here.
 type Binding struct {
-	eng              *engine.Engine
+	*binding.Base
 	pp               *p2ps.Peer
 	discoveryTimeout time.Duration
 	replyTimeout     time.Duration
@@ -54,13 +63,12 @@ type Binding struct {
 
 	mu          sync.Mutex
 	deployed    map[string]*deployedService
+	foreignPubs map[string]*deployedService // advert ID -> definition-pipe state
 	advertAttrs map[string]map[string]string
-	corePeer    *core.Peer
+	closed      bool
 
-	// eventsOnce guards the engine-pipeline Events installation so
-	// re-attaching the binding retargets events instead of duplicating
-	// the interceptor.
-	eventsOnce sync.Once
+	// inflight counts pipe dispatches in progress so Close can drain them.
+	inflight sync.WaitGroup
 
 	// Duplicate suppression: requests are retransmitted on loss, so each
 	// deployed service remembers recent MessageIDs and their responses.
@@ -100,52 +108,74 @@ func New(opts Options) (*Binding, error) {
 	if opts.Retries < 0 {
 		opts.Retries = 0
 	}
-	return &Binding{
-		eng:              opts.Engine,
+	b := &Binding{
 		pp:               opts.Peer,
 		discoveryTimeout: opts.DiscoveryTimeout,
 		replyTimeout:     opts.ReplyTimeout,
 		retries:          opts.Retries,
 		deployed:         make(map[string]*deployedService),
+		foreignPubs:      make(map[string]*deployedService),
 		advertAttrs:      make(map[string]map[string]string),
 		dedupByID:        make(map[string][]byte),
-	}, nil
+	}
+	b.Base = binding.NewBase("p2ps", []string{core.P2PSScheme}, opts.Engine, binding.Components{
+		Deployer:   b.Deployer(),
+		Publishers: []core.ServicePublisher{b.Publisher()},
+		Locators:   []core.ServiceLocator{b.Locator()},
+		Invokers:   []core.Invoker{b.Invoker()},
+	})
+	return b, nil
 }
 
 // Peer exposes the underlying P2PS peer.
 func (b *Binding) Peer() *p2ps.Peer { return b.pp }
 
-// Engine exposes the underlying messaging engine.
-func (b *Binding) Engine() *engine.Engine { return b.eng }
-
-// Attach wires the binding's components into a WSPeer peer. Server-side
-// raw exchanges are forwarded as ServerMessageEvents from the engine
-// pipeline's Events choke point.
-func (b *Binding) Attach(p *core.Peer) {
+// enter marks a pipe dispatch in flight; it reports false once the binding
+// has been closed, in which case the dispatch must be dropped.
+func (b *Binding) enter() bool {
 	b.mu.Lock()
-	b.corePeer = p
-	b.mu.Unlock()
-	b.eventsOnce.Do(func() {
-		b.eng.Use(pipeline.Events(func(c *pipeline.Call) {
-			b.mu.Lock()
-			peer := b.corePeer
-			b.mu.Unlock()
-			if peer != nil {
-				peer.FireServerMessage(c.Service, c.Request, c.Response)
-			}
-		}))
-	})
-	p.Server().SetDeployer(b.Deployer())
-	p.Server().AddPublisher(b.Publisher())
-	p.Client().AddLocator(b.Locator())
-	p.Client().RegisterInvoker(b.Invoker())
+	defer b.mu.Unlock()
+	if b.closed {
+		return false
+	}
+	b.inflight.Add(1)
+	return true
 }
 
-// Use installs server-side pipeline interceptors on the binding's engine:
-// every request arriving down a deployed service's pipe flows through
-// them before dispatch. Client-side interceptors belong on the peer's
-// Client (core.Client.Use).
-func (b *Binding) Use(ics ...pipeline.Interceptor) { b.eng.Use(ics...) }
+// Close stops the binding's substrate: every deployed service's pipes are
+// closed (foreign-publication definition pipes included), the services are
+// undeployed from the engine, and in-flight pipe dispatches are drained.
+// Close is idempotent.
+func (b *Binding) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	deployed := b.deployed
+	foreign := b.foreignPubs
+	b.deployed = make(map[string]*deployedService)
+	b.foreignPubs = make(map[string]*deployedService)
+	b.mu.Unlock()
+
+	for _, ds := range deployed {
+		if ds.reqPipe != nil {
+			ds.reqPipe.Close()
+		}
+		if ds.defPipe != nil {
+			ds.defPipe.Close()
+		}
+		b.Engine().Undeploy(ds.name)
+	}
+	for _, ds := range foreign {
+		if ds.defPipe != nil {
+			ds.defPipe.Close()
+		}
+	}
+	b.inflight.Wait()
+	return nil
+}
 
 // ---------------------------------------------------------------------------
 // Deployer
@@ -162,11 +192,17 @@ func (d deployer) Name() string { return "p2ps" }
 // and a definition pipe, and its WSDL is bound to its p2ps:// URI.
 func (d deployer) Deploy(def engine.ServiceDef) (*core.Deployment, error) {
 	b := d.b
-	svc, err := b.eng.Deploy(def)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("p2psbind: binding is closed")
+	}
+	b.mu.Unlock()
+	svc, err := b.Engine().Deploy(def)
 	if err != nil {
 		return nil, err
 	}
-	cleanup := func() { b.eng.Undeploy(def.Name) }
+	cleanup := func() { b.Engine().Undeploy(def.Name) }
 
 	reqPipe, err := b.pp.CreateInputPipe(RequestPipeName)
 	if err != nil {
@@ -195,8 +231,20 @@ func (d deployer) Deploy(def engine.ServiceDef) (*core.Deployment, error) {
 		return nil, err
 	}
 	ds := &deployedService{name: def.Name, reqPipe: reqPipe, defPipe: defPipe, wsdlBytes: raw}
-	reqPipe.AddListener(func(from p2ps.PeerID, data []byte) { b.handleRequest(ds, data) })
-	defPipe.AddListener(func(from p2ps.PeerID, data []byte) { b.handleDefinitionRequest(ds, data) })
+	reqPipe.AddListener(func(from p2ps.PeerID, data []byte) {
+		if !b.enter() {
+			return
+		}
+		defer b.inflight.Done()
+		b.handleRequest(ds, data)
+	})
+	defPipe.AddListener(func(from p2ps.PeerID, data []byte) {
+		if !b.enter() {
+			return
+		}
+		defer b.inflight.Done()
+		b.handleDefinitionRequest(ds, data)
+	})
 
 	b.mu.Lock()
 	b.deployed[def.Name] = ds
@@ -222,7 +270,7 @@ func (d deployer) Undeploy(service string) error {
 	}
 	ds.reqPipe.Close()
 	ds.defPipe.Close()
-	if !b.eng.Undeploy(service) {
+	if !b.Engine().Undeploy(service) {
 		return fmt.Errorf("p2psbind: engine had no service %q", service)
 	}
 	return nil
@@ -287,7 +335,7 @@ func (b *Binding) handleRequest(ds *deployedService, data []byte) {
 		ContentType: soap.ContentType,
 		Body:        data,
 	}
-	resp, err := b.eng.ServeRequest(context.Background(), ds.name, req)
+	resp, err := b.Engine().ServeRequest(context.Background(), ds.name, req)
 	if err != nil {
 		f := soap.ServerFault(err)
 		if o, ok := resilience.AsOverload(err); ok {
@@ -391,12 +439,17 @@ func (b *Binding) SetAdvertAttrs(service string, attrs map[string]string) {
 	b.advertAttrs[service] = attrs
 }
 
-// Publish implements core.ServicePublisher: the deployment's pipes are
-// published as an extended ServiceAdvertisement.
+// Publish implements core.ServicePublisher. A deployment made by the p2ps
+// deployer is published as an extended ServiceAdvertisement carrying its
+// request and definition pipes. A foreign deployment — made by another
+// binding's deployer, the mixed-provider case — is advertised without a
+// request pipe: its endpoint URI rides in the EndpointAttr attribute, and
+// a definition pipe is created here so discoverers can still retrieve the
+// WSDL over the overlay.
 func (p publisher) Publish(ctx context.Context, dep *core.Deployment) (string, error) {
 	ds, ok := dep.Extra.(*deployedService)
 	if !ok {
-		return "", fmt.Errorf("p2psbind: deployment %q was not made by the p2ps deployer", dep.Service.Name())
+		return p.b.publishForeign(dep)
 	}
 	attrs := map[string]string{"binding": "wspeer-p2ps"}
 	p.b.mu.Lock()
@@ -417,9 +470,72 @@ func (p publisher) Publish(ctx context.Context, dep *core.Deployment) (string, e
 	return published.ID, nil
 }
 
+// publishForeign advertises a deployment another binding made: no request
+// pipe (invocations go to the advertised endpoint over its own scheme),
+// but a definition pipe serving the deployment's WSDL.
+func (b *Binding) publishForeign(dep *core.Deployment) (string, error) {
+	name := dep.Service.Name()
+	if dep.Endpoint == "" {
+		return "", fmt.Errorf("p2psbind: foreign deployment %q has no endpoint to advertise", name)
+	}
+	if dep.Definitions == nil {
+		return "", fmt.Errorf("p2psbind: foreign deployment %q has no definitions", name)
+	}
+	raw, err := dep.Definitions.Marshal()
+	if err != nil {
+		return "", err
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return "", fmt.Errorf("p2psbind: binding is closed")
+	}
+	b.mu.Unlock()
+	defPipe, err := b.pp.CreateInputPipe(DefinitionPipeName)
+	if err != nil {
+		return "", err
+	}
+	ds := &deployedService{name: name, defPipe: defPipe, wsdlBytes: raw}
+	defPipe.AddListener(func(from p2ps.PeerID, data []byte) {
+		if !b.enter() {
+			return
+		}
+		defer b.inflight.Done()
+		b.handleDefinitionRequest(ds, data)
+	})
+	attrs := map[string]string{"binding": "wspeer-p2ps", EndpointAttr: dep.Endpoint}
+	b.mu.Lock()
+	for k, v := range b.advertAttrs[name] {
+		attrs[k] = v
+	}
+	b.mu.Unlock()
+	adv := &p2ps.ServiceAdvertisement{
+		Name:           name,
+		DefinitionPipe: defPipe.Advertisement(),
+		Attrs:          attrs,
+	}
+	published, err := b.pp.PublishService(adv)
+	if err != nil {
+		defPipe.Close()
+		return "", err
+	}
+	b.mu.Lock()
+	b.foreignPubs[published.ID] = ds
+	b.mu.Unlock()
+	return published.ID, nil
+}
+
 // Unpublish implements core.ServicePublisher.
 func (p publisher) Unpublish(ctx context.Context, location string) error {
-	if !p.b.pp.UnpublishService(location) {
+	b := p.b
+	b.mu.Lock()
+	ds := b.foreignPubs[location]
+	delete(b.foreignPubs, location)
+	b.mu.Unlock()
+	if ds != nil && ds.defPipe != nil {
+		ds.defPipe.Close()
+	}
+	if !b.pp.UnpublishService(location) {
 		return fmt.Errorf("p2psbind: no advert %q", location)
 	}
 	return nil
@@ -473,10 +589,16 @@ func (b *Binding) infoFromAdvert(ctx context.Context, adv *p2ps.ServiceAdvertise
 	if err != nil {
 		return nil, err
 	}
+	// A foreign advert (no request pipe) carries the service's real endpoint
+	// in an attribute: surface that, so invocation is routed by its scheme.
+	endpoint := core.P2PSURI{Peer: string(adv.Peer), Service: adv.Name}.String()
+	if ep := adv.Attrs[EndpointAttr]; ep != "" && adv.Pipe(RequestPipeName) == nil {
+		endpoint = ep
+	}
 	return &core.ServiceInfo{
 		Name:        adv.Name,
 		Definitions: defs,
-		Endpoint:    core.P2PSURI{Peer: string(adv.Peer), Service: adv.Name}.String(),
+		Endpoint:    endpoint,
 		Locator:     "p2ps",
 		Meta:        map[string]string{"advertID": adv.ID},
 		Extra:       adv,
@@ -537,15 +659,44 @@ func (b *Binding) Invoker() core.Invoker { return invoker{b} }
 // Schemes implements core.Invoker.
 func (i invoker) Schemes() []string { return []string{core.P2PSScheme} }
 
+// advertFor resolves the P2PS advertisement backing a service. A service
+// located through the p2ps locator carries its advert in Extra; a service
+// located elsewhere — e.g. a UDDI record with a p2ps:// endpoint, the
+// mixed UDDI-locator + P2PS-invoker composition — is resolved by
+// discovering an advert matching the endpoint's peer and service name.
+// The ServiceInfo is never mutated: it may be shared across goroutines.
+func (b *Binding) advertFor(ctx context.Context, svc *core.ServiceInfo) (*p2ps.ServiceAdvertisement, error) {
+	if adv, ok := svc.Extra.(*p2ps.ServiceAdvertisement); ok {
+		return adv, nil
+	}
+	uri, err := core.ParseP2PSURI(svc.Endpoint)
+	if err != nil {
+		return nil, fmt.Errorf("p2psbind: service %q carries no P2PS advertisement and no p2ps:// endpoint: %w", svc.Name, err)
+	}
+	d := b.pp.Discover(p2ps.Query{Name: uri.Service}, b.discoveryTimeout)
+	select {
+	case <-d.Done():
+	case <-ctx.Done():
+		d.Cancel()
+		return nil, ctx.Err()
+	}
+	for _, adv := range d.Matches() {
+		if string(adv.Peer) == uri.Peer && adv.Pipe(RequestPipeName) != nil {
+			return adv, nil
+		}
+	}
+	return nil, fmt.Errorf("p2psbind: no advertisement found for %s", svc.Endpoint)
+}
+
 // Invoke implements core.Invoker: figures 5 and 6 in code. A request pipe
 // is resolved from the service advert, a reply pipe is created and
 // serialized into the ReplyTo header, and the SOAP request travels down
 // the remote pipe; the response is correlated by RelatesTo.
 func (i invoker) Invoke(ctx context.Context, svc *core.ServiceInfo, op string, params []engine.Param) (*engine.Result, error) {
 	b := i.b
-	adv, ok := svc.Extra.(*p2ps.ServiceAdvertisement)
-	if !ok {
-		return nil, fmt.Errorf("p2psbind: service %q carries no P2PS advertisement (locate it through the p2ps locator)", svc.Name)
+	adv, err := b.advertFor(ctx, svc)
+	if err != nil {
+		return nil, err
 	}
 	reqPipeAdv := adv.Pipe(RequestPipeName)
 	if reqPipeAdv == nil {

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"wspeer/internal/pipeline"
+)
+
+// Components bundles the pluggable parts a binding contributes to a peer —
+// the paper's locator, publisher, deployer and invoker components (§III).
+// Any field may be empty: a binding without a registry endpoint contributes
+// no locator or publisher, and a pure-client composition contributes no
+// deployer at all.
+//
+// Component values must be comparable (small structs or pointers): attach
+// and detach bookkeeping identifies a component by equality so that
+// repeated attachment is idempotent and detachment removes exactly what
+// attachment added.
+type Components struct {
+	// Deployer exposes service definitions at endpoints. A Server has one
+	// deployer slot; attaching a binding with a deployer replaces the slot
+	// (last attached wins) and detaching restores it to empty only if the
+	// slot still holds this binding's deployer.
+	Deployer ServiceDeployer
+	// Publishers announce deployments (UDDI records, P2PS adverts, ...).
+	Publishers []ServicePublisher
+	// Locators find services.
+	Locators []ServiceLocator
+	// Invokers carry invocations, registered by endpoint scheme.
+	Invokers []Invoker
+}
+
+// Binding is the contract every substrate binding implements: one
+// constructed engine plus the component bundle it wires into peers, with a
+// symmetric lifecycle (Attach/Detach/Close). The paper's central claim is
+// that "these implementations need not remain self-contained" (§IV) — a
+// Binding's Components can be attached wholesale or mixed piecemeal with
+// another binding's (see internal/binding.ComposeClient).
+type Binding interface {
+	// Name identifies the binding ("http", "p2ps", "inmem").
+	Name() string
+	// Schemes lists the endpoint URI schemes the binding's invokers serve.
+	Schemes() []string
+	// Components returns the bundle Attach wires into a peer.
+	Components() Components
+	// Attach wires the components into the peer. Idempotent: re-attaching
+	// an already attached peer is a no-op.
+	Attach(*Peer) error
+	// Detach removes exactly what Attach added, event forwarding included.
+	// Detaching a never-attached peer is a no-op.
+	Detach(*Peer) error
+	// Use installs server-side pipeline interceptors on the binding's
+	// engine.
+	Use(...pipeline.Interceptor)
+	// Close releases the binding's substrate resources (HTTP listener,
+	// pipes, in-memory handlers), draining in-flight dispatches first.
+	// Close is idempotent.
+	Close() error
+}
+
+// AttachBinding attaches a binding to the peer and records it by name, so
+// DetachBinding and Bindings can manage it later. Attaching the same
+// binding twice is a no-op; attaching a different binding under an
+// already-registered name is an error.
+func (p *Peer) AttachBinding(b Binding) error {
+	p.bmu.Lock()
+	if prev, ok := p.bindings[b.Name()]; ok {
+		p.bmu.Unlock()
+		if componentEqual(prev, b) {
+			return nil
+		}
+		return fmt.Errorf("core: a different binding named %q is already attached", b.Name())
+	}
+	if p.bindings == nil {
+		p.bindings = make(map[string]Binding)
+	}
+	p.bindings[b.Name()] = b
+	p.bmu.Unlock()
+	if err := b.Attach(p); err != nil {
+		p.bmu.Lock()
+		delete(p.bindings, b.Name())
+		p.bmu.Unlock()
+		return fmt.Errorf("core: attaching binding %q: %w", b.Name(), err)
+	}
+	return nil
+}
+
+// DetachBinding detaches a binding, removing the components (and event
+// forwarding) its Attach added. Detaching a binding that is not attached
+// is a no-op.
+func (p *Peer) DetachBinding(b Binding) error {
+	p.bmu.Lock()
+	delete(p.bindings, b.Name())
+	p.bmu.Unlock()
+	return b.Detach(p)
+}
+
+// Bindings lists the names of the bindings attached through AttachBinding,
+// sorted.
+func (p *Peer) Bindings() []string {
+	p.bmu.Lock()
+	defer p.bmu.Unlock()
+	out := make([]string, 0, len(p.bindings))
+	for n := range p.bindings {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Binding returns an attached binding by name, or nil.
+func (p *Peer) Binding(name string) Binding {
+	p.bmu.Lock()
+	defer p.bmu.Unlock()
+	return p.bindings[name]
+}
+
+// componentEqual compares two component values by interface equality,
+// guarding against uncomparable dynamic types (which would make == panic).
+func componentEqual(a, b interface{}) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	ta := reflect.TypeOf(a)
+	if ta != reflect.TypeOf(b) || !ta.Comparable() {
+		return false
+	}
+	return a == b
+}

@@ -19,6 +19,9 @@ type Peer struct {
 	bus    eventBus
 	client *Client
 	server *Server
+
+	bmu      sync.Mutex
+	bindings map[string]Binding // attached via AttachBinding, by name
 }
 
 // NewPeer returns a peer with empty client and server sides; bindings
@@ -123,20 +126,63 @@ func (c *Client) Pipeline() *pipeline.Chain { return c.chain }
 
 // AddLocator registers a locator. Multiple locators can coexist — e.g. a
 // P2PS peer using the UDDI locator alongside advert discovery (paper §IV:
-// "these implementations need not remain self-contained").
+// "these implementations need not remain self-contained"). Registering a
+// locator that is already present is a no-op, so re-attaching a binding
+// does not accumulate duplicates.
 func (c *Client) AddLocator(l ServiceLocator) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for _, have := range c.locators {
+		if componentEqual(have, l) {
+			return
+		}
+	}
 	c.locators = append(c.locators, l)
 }
 
-// RegisterInvoker registers an invoker for its endpoint schemes.
+// RemoveLocator removes a previously added locator; it reports whether the
+// locator was registered.
+func (c *Client) RemoveLocator(l ServiceLocator) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, have := range c.locators {
+		if componentEqual(have, l) {
+			c.locators = append(c.locators[:i], c.locators[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// RegisterInvoker registers an invoker for its endpoint schemes. A scheme
+// already served by the same invoker is left untouched (double-attach is a
+// no-op); a scheme served by a different invoker is taken over (last
+// registered wins).
 func (c *Client) RegisterInvoker(inv Invoker) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, s := range inv.Schemes() {
+		if componentEqual(c.invokers[s], inv) {
+			continue
+		}
 		c.invokers[s] = inv
 	}
+}
+
+// UnregisterInvoker removes the invoker from every scheme it still serves;
+// it reports whether any scheme was removed. Schemes taken over by a later
+// RegisterInvoker are left with their current invoker.
+func (c *Client) UnregisterInvoker(inv Invoker) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := false
+	for s, have := range c.invokers {
+		if componentEqual(have, inv) {
+			delete(c.invokers, s)
+			removed = true
+		}
+	}
+	return removed
 }
 
 // Locators returns the registered locators.
@@ -415,19 +461,55 @@ type Server struct {
 	published   map[string][]publication
 }
 
-// SetDeployer installs the deployer component.
+// SetDeployer installs the deployer component, replacing any previous one
+// (last attached binding wins).
 func (s *Server) SetDeployer(d ServiceDeployer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.deployer = d
 }
 
+// RemoveDeployer clears the deployer slot, but only if it still holds d —
+// a deployer replaced by a later SetDeployer is not disturbed. It reports
+// whether the slot was cleared.
+func (s *Server) RemoveDeployer(d ServiceDeployer) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !componentEqual(s.deployer, d) {
+		return false
+	}
+	s.deployer = nil
+	return true
+}
+
 // AddPublisher registers a publisher. Multiple publishers can coexist
-// (e.g. UDDI and P2PS adverts for the same service).
+// (e.g. UDDI and P2PS adverts for the same service). Registering a
+// publisher that is already present is a no-op, so re-attaching a binding
+// does not publish twice.
 func (s *Server) AddPublisher(p ServicePublisher) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for _, have := range s.publishers {
+		if componentEqual(have, p) {
+			return
+		}
+	}
 	s.publishers = append(s.publishers, p)
+}
+
+// RemovePublisher removes a previously added publisher; it reports whether
+// the publisher was registered. Services already published through it stay
+// published (withdraw them with Undeploy).
+func (s *Server) RemovePublisher(p ServicePublisher) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, have := range s.publishers {
+		if componentEqual(have, p) {
+			s.publishers = append(s.publishers[:i], s.publishers[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // Deploy exposes a service definition through the deployer and fires a

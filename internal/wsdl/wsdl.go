@@ -25,6 +25,9 @@ const (
 	TransportHTTPG = "http://wspeer.dev/transport/httpg"
 	// TransportP2PS marks SOAP carried over P2PS pipes.
 	TransportP2PS = "http://wspeer.dev/transport/p2ps"
+	// TransportInMem marks SOAP carried over the process-local in-memory
+	// network (the inmem binding).
+	TransportInMem = "http://wspeer.dev/transport/inmem"
 )
 
 // Definitions is the root of a WSDL document.

@@ -13,9 +13,17 @@
 //     a WSDL "definition pipe", discovered by in-network queries, and made
 //     request/response-capable through WS-Addressing ReplyTo headers.
 //
-// Application code works exclusively with this package's types; swapping
-// or mixing bindings does not change it. See the examples/ directory for
-// runnable programs and DESIGN.md for the architecture.
+//   - the in-memory binding (NewInMemBinding): services hosted on a
+//     process-local network and published to a shared in-process
+//     directory — the deterministic substrate for tests and simulations.
+//
+// Every binding implements the same Binding contract (Attach/Detach/Use/
+// Close) and attaches with Peer.AttachBinding; a BindingRegistry keys live
+// bindings by name and endpoint scheme, and ComposeClient builds a peer
+// from explicitly mixed components (e.g. the UDDI locator with the P2PS
+// invoker). Application code works exclusively with this package's types;
+// swapping or mixing bindings does not change it. See the examples/
+// directory for runnable programs and DESIGN.md for the architecture.
 //
 // Invocation and dispatch run on a zero-allocation fast path: WSDL
 // operation details are memoized per Definitions, XSD encode/decode plans
@@ -27,7 +35,7 @@
 //
 //	peer := wspeer.NewPeer()
 //	binding, _ := wspeer.NewHTTPBinding(wspeer.HTTPOptions{UDDIEndpoint: registryURL})
-//	binding.Attach(peer)
+//	peer.AttachBinding(binding)
 //
 //	// Host: the application is its own container.
 //	dep, _ := peer.Server().DeployAndPublish(ctx, wspeer.ServiceDef{
@@ -46,7 +54,9 @@ package wspeer
 import (
 	"time"
 
+	"wspeer/internal/binding"
 	"wspeer/internal/binding/httpbind"
+	"wspeer/internal/binding/inmembind"
 	"wspeer/internal/binding/p2psbind"
 	"wspeer/internal/core"
 	"wspeer/internal/engine"
@@ -251,6 +261,14 @@ type (
 
 // Bindings.
 type (
+	// Binding is the contract every substrate binding implements; attach
+	// one with Peer.AttachBinding.
+	Binding = core.Binding
+	// BindingComponents is the pluggable-component bundle a binding
+	// contributes (deployer, publishers, locators, invokers).
+	BindingComponents = core.Components
+	// BindingRegistry keys live bindings by name and endpoint scheme.
+	BindingRegistry = binding.Registry
 	// HTTPBinding is the standard implementation (paper §IV-A).
 	HTTPBinding = httpbind.Binding
 	// HTTPOptions configures the standard binding.
@@ -265,6 +283,15 @@ type (
 	P2PSConfig = p2ps.Config
 	// P2PSTransport attaches a P2PS node to a network.
 	P2PSTransport = p2ps.Transport
+	// InMemBinding hosts services on a process-local network (tests,
+	// simulations, single-process compositions).
+	InMemBinding = inmembind.Binding
+	// InMemOptions configures the in-memory binding.
+	InMemOptions = inmembind.Options
+	// InMemDirectory is the in-memory binding's shared service registry.
+	InMemDirectory = inmembind.Directory
+	// InMemNetwork carries mem:// invocations between in-memory bindings.
+	InMemNetwork = transport.InMemNetwork
 	// UDDIRegistry is the in-process registry (host it with uddid or
 	// embed it).
 	UDDIRegistry = uddi.Registry
@@ -333,6 +360,28 @@ func NewHTTPBinding(opts HTTPOptions) (*HTTPBinding, error) { return httpbind.Ne
 
 // NewP2PSBinding builds the P2PS binding over an existing P2PS peer.
 func NewP2PSBinding(opts P2PSOptions) (*P2PSBinding, error) { return p2psbind.New(opts) }
+
+// NewInMemBinding builds the in-memory binding. Share one InMemNetwork and
+// one InMemDirectory between bindings that should reach each other.
+func NewInMemBinding(opts InMemOptions) (*InMemBinding, error) { return inmembind.New(opts) }
+
+// NewInMemNetwork returns an empty in-memory network.
+func NewInMemNetwork() *InMemNetwork { return transport.NewInMemNetwork() }
+
+// NewInMemDirectory returns an empty in-memory service directory.
+func NewInMemDirectory() *InMemDirectory { return inmembind.NewDirectory() }
+
+// NewBindingRegistry returns an empty binding registry.
+func NewBindingRegistry() *BindingRegistry { return binding.NewRegistry() }
+
+// ComposeClient builds a peer from explicitly mixed binding components —
+// the paper's "P2PS client using the UDDI locator" made first-class:
+//
+//	mixed, _ := wspeer.ComposeClient(wspeer.BindingComponents{
+//	    Locators: []wspeer.ServiceLocator{httpB.Locator()},
+//	    Invokers: []wspeer.Invoker{p2psB.Invoker()},
+//	})
+func ComposeClient(parts BindingComponents) (*Peer, error) { return binding.ComposeClient(parts) }
 
 // NewP2PSPeer creates a P2PS node.
 func NewP2PSPeer(cfg P2PSConfig) (*P2PSPeer, error) { return p2ps.NewPeer(cfg) }
