@@ -130,7 +130,7 @@ func main() {
 		check(err)
 		experiments.AllocBenchTable(rs).Print(os.Stdout)
 		if *benchJSON != "" {
-			check(experiments.WriteAllocBenchJSON(*benchJSON, rs))
+			check(experiments.WriteAllocBenchJSON(*benchJSON, rs, experiments.CollectBenchTelemetry()))
 			fmt.Printf("wrote %s\n", *benchJSON)
 		}
 		if *benchCompare != "" {

@@ -17,6 +17,7 @@ import (
 	"wspeer/internal/core"
 	"wspeer/internal/engine"
 	"wspeer/internal/soap"
+	"wspeer/internal/telemetry"
 	"wspeer/internal/transport"
 )
 
@@ -50,6 +51,87 @@ func Run(t *testing.T, w World) {
 	t.Run("AttachIdempotent", func(t *testing.T) { testAttachIdempotent(t, w) })
 	t.Run("DetachRemovesComponents", func(t *testing.T) { testDetachRemovesComponents(t, w) })
 	t.Run("CloseDrainsInFlight", func(t *testing.T) { testCloseDrainsInFlight(t, w) })
+	t.Run("TelemetrySequence", func(t *testing.T) { testTelemetrySequence(t, w) })
+}
+
+// testTelemetrySequence pins the telemetry contract every substrate must
+// honour identically: one round-trip invocation produces exactly one
+// server.dispatch span and one client.invoke span (ending in that order),
+// both carrying the service and operation, plus one client row and one
+// server row in the spine's call table. Parent/child linkage is asserted
+// only when the substrate propagated the trace context (bindings whose
+// server side cannot carry the caller's context emit an unparented
+// dispatch span — the sequence itself must still be identical).
+func testTelemetrySequence(t *testing.T, w World) {
+	fab := w.NewFabric(t)
+	provider, _ := fab.NewPeer(t)
+	consumer, _ := fab.NewPeer(t)
+	ctx := context.Background()
+
+	col := telemetry.NewCollector(0)
+	prev := telemetry.Default().Tracer.SetSink(col)
+	t.Cleanup(func() { telemetry.Default().Tracer.SetSink(prev) })
+
+	const svcName = "TelemetryConformance"
+	table := telemetry.Default().Calls
+	clientBefore := table.Service(svcName, telemetry.DirClient).Calls
+	serverBefore := table.Service(svcName, telemetry.DirServer).Calls
+
+	if _, err := provider.Server().DeployAndPublish(ctx, conformanceDef(svcName)); err != nil {
+		t.Fatal(err)
+	}
+	info := locateWithRetry(t, w, consumer, svcName)
+	inv, err := consumer.Client().NewInvocation(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := inv.Invoke(ctx, "echoString", engine.P("msg", "tele")); err != nil {
+		t.Fatal(err)
+	} else if got, _ := res.String("return"); got != "echo:tele" {
+		t.Fatalf("echoString = %q", got)
+	}
+
+	spans := col.ByService(svcName)
+	if len(spans) != 2 {
+		t.Fatalf("round trip produced %d spans for %s, want 2 (server.dispatch, client.invoke): %+v",
+			len(spans), svcName, spans)
+	}
+	srv, cli := spans[0], spans[1]
+	if srv.Name != "server.dispatch" || cli.Name != "client.invoke" {
+		t.Fatalf("span sequence = [%s, %s], want [server.dispatch, client.invoke]", srv.Name, cli.Name)
+	}
+	for _, d := range []telemetry.SpanData{srv, cli} {
+		if d.Op != "echoString" {
+			t.Fatalf("%s span Op = %q, want echoString", d.Name, d.Op)
+		}
+		if d.Err != "" {
+			t.Fatalf("%s span recorded error %q on a successful call", d.Name, d.Err)
+		}
+		if d.Duration() <= 0 {
+			t.Fatalf("%s span has non-positive duration", d.Name)
+		}
+	}
+	if srv.Dir != telemetry.DirServer || cli.Dir != telemetry.DirClient {
+		t.Fatalf("span directions = %q/%q, want server/client", srv.Dir, cli.Dir)
+	}
+	if cli.Endpoint == "" {
+		t.Fatal("client span does not record the endpoint")
+	}
+	if srv.ParentID != 0 {
+		// The substrate propagated the trace: dispatch must be the
+		// invocation's child within one trace.
+		if srv.TraceID != cli.TraceID || srv.ParentID != cli.SpanID {
+			t.Fatalf("propagated trace is not linked: server (trace %x, parent %x), client (trace %x, span %x)",
+				srv.TraceID, srv.ParentID, cli.TraceID, cli.SpanID)
+		}
+	}
+
+	if got := table.Service(svcName, telemetry.DirClient).Calls - clientBefore; got != 1 {
+		t.Fatalf("call table client row grew by %d, want 1", got)
+	}
+	if got := table.Service(svcName, telemetry.DirServer).Calls - serverBefore; got != 1 {
+		t.Fatalf("call table server row grew by %d, want 1", got)
+	}
 }
 
 // conformanceDef is the service every binding hosts for the suite: a

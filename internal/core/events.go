@@ -15,7 +15,22 @@ import (
 	"sync"
 
 	"wspeer/internal/engine"
+	"wspeer/internal/telemetry"
 	"wspeer/internal/transport"
+)
+
+// Spine counters for the event tree: one per event class fired through a
+// peer's bus (fired regardless of whether any listener is registered, so
+// the snapshot shows activity even on unobserved peers), plus the events
+// a QueuedListener dropped on overflow.
+var (
+	mEvtDiscovery  = telemetry.Default().Meter.Counter("events.discovery")
+	mEvtPublish    = telemetry.Default().Meter.Counter("events.publish")
+	mEvtClient     = telemetry.Default().Meter.Counter("events.client")
+	mEvtServer     = telemetry.Default().Meter.Counter("events.server")
+	mEvtDeployment = telemetry.Default().Meter.Counter("events.deployment")
+	mEvtHealth     = telemetry.Default().Meter.Counter("events.health")
+	mEvtDropped    = telemetry.Default().Meter.Counter("events.dropped")
 )
 
 // DiscoveryEvent reports progress of a service discovery: one event per
@@ -170,36 +185,42 @@ func (b *eventBus) snapshot() []PeerMessageListener {
 }
 
 func (b *eventBus) fireDiscovery(e DiscoveryEvent) {
+	mEvtDiscovery.Inc()
 	for _, l := range b.snapshot() {
 		l.OnDiscoveryMessage(e)
 	}
 }
 
 func (b *eventBus) firePublish(e PublishEvent) {
+	mEvtPublish.Inc()
 	for _, l := range b.snapshot() {
 		l.OnPublishMessage(e)
 	}
 }
 
 func (b *eventBus) fireClient(e ClientMessageEvent) {
+	mEvtClient.Inc()
 	for _, l := range b.snapshot() {
 		l.OnClientMessage(e)
 	}
 }
 
 func (b *eventBus) fireServer(e ServerMessageEvent) {
+	mEvtServer.Inc()
 	for _, l := range b.snapshot() {
 		l.OnServerMessage(e)
 	}
 }
 
 func (b *eventBus) fireDeployment(e DeploymentMessageEvent) {
+	mEvtDeployment.Inc()
 	for _, l := range b.snapshot() {
 		l.OnDeploymentMessage(e)
 	}
 }
 
 func (b *eventBus) fireHealth(e HealthEvent) {
+	mEvtHealth.Inc()
 	for _, l := range b.snapshot() {
 		l.OnHealthMessage(e)
 	}
@@ -262,6 +283,7 @@ func (q *QueuedListener) enqueue(fn func()) {
 	q.mu.Lock()
 	if q.closed {
 		q.dropped++
+		mEvtDropped.Inc()
 		q.mu.Unlock()
 		return
 	}
@@ -269,6 +291,7 @@ func (q *QueuedListener) enqueue(fn func()) {
 	case q.ch <- fn:
 	default:
 		q.dropped++
+		mEvtDropped.Inc()
 	}
 	q.mu.Unlock()
 }

@@ -5,11 +5,20 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"wspeer/internal/engine"
 	"wspeer/internal/pipeline"
 	"wspeer/internal/resilience"
+	"wspeer/internal/telemetry"
 	"wspeer/internal/transport"
+)
+
+// Spine counters for the failover walk: attempts actually sent to an
+// endpoint, and endpoints skipped because their breaker was open.
+var (
+	mFailoverAttempts = telemetry.Default().Meter.Counter("core.failover.attempts")
+	mFailoverSkips    = telemetry.Default().Meter.Counter("core.failover.skips")
 )
 
 // Peer is the root of the WSPeer interface tree (paper Fig. 2). It owns the
@@ -353,10 +362,16 @@ const MetaResult = "core.result"
 // from the pipeline's Events stage.
 func (inv *Invocation) Invoke(ctx context.Context, op string, params ...engine.Param) (*engine.Result, error) {
 	primary := inv.targets[0]
-	c := &pipeline.Call{Ctx: ctx, Dir: pipeline.ClientCall, Service: primary.svc.Name, Op: op}
+	span, ctx := telemetry.Default().Tracer.StartSpan(ctx, "client.invoke")
+	span.SetService(primary.svc.Name)
+	span.SetOp(op)
+	span.SetDir(telemetry.DirClient)
+	span.SetEndpoint(primary.svc.Endpoint)
+	c := &pipeline.Call{Ctx: ctx, Dir: pipeline.ClientCall, Service: primary.svc.Name, Op: op, Span: span}
 	c.SetMeta(resilience.MetaEndpoint, primary.svc.Endpoint)
 	var res *engine.Result
 	var err error
+	start := time.Now()
 	if len(inv.targets) == 1 {
 		err = inv.client.chain.Run(c, func(c *pipeline.Call) error {
 			res = nil // a retried attempt must not leak its predecessor's result
@@ -376,6 +391,11 @@ func (inv *Invocation) Invoke(ctx context.Context, op string, params ...engine.P
 			c.SetMeta(MetaResult, res)
 			return err
 		})
+	}
+	telemetry.Default().Calls.Record(primary.svc.Name, telemetry.DirClient, time.Since(start), err != nil)
+	if span != nil {
+		span.SetError(err)
+		span.End()
 	}
 	if err != nil {
 		return nil, err
@@ -408,17 +428,26 @@ func (inv *Invocation) invokeFailover(c *pipeline.Call, op string, params []engi
 		}
 		br := group.Breaker(t.svc.Endpoint)
 		if !br.Allow() {
+			mFailoverSkips.Inc()
+			if c.Span != nil {
+				c.Span.Annotatef("failover: skipped %s (breaker open)", t.svc.Endpoint)
+			}
 			lastErr = &resilience.BreakerOpenError{Endpoint: t.svc.Endpoint}
 			continue
 		}
 		c.SetMeta(resilience.MetaEndpoint, t.svc.Endpoint)
 		c.Request, c.Response = nil, nil
+		mFailoverAttempts.Inc()
 		res, err := invokeTarget(c, t, op, params)
 		resilience.Observe(br, err)
 		if err == nil {
+			c.Span.SetEndpoint(t.svc.Endpoint)
 			return res, nil
 		}
 		lastErr = err
+		if c.Span != nil {
+			c.Span.Annotatef("failover: %s failed: %v", t.svc.Endpoint, err)
+		}
 		if resilience.Classify(err) != resilience.Failure {
 			break // an application fault or cancellation: not the substrate's doing
 		}

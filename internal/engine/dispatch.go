@@ -4,12 +4,22 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+	"time"
 
 	"wspeer/internal/pipeline"
 	"wspeer/internal/soap"
+	"wspeer/internal/telemetry"
 	"wspeer/internal/transport"
 	"wspeer/internal/wsaddr"
 	"wspeer/internal/xmlutil"
+)
+
+// Spine counters for dispatch activity, mirroring the engine's own Stats
+// so both legacy Stats() and a telemetry Snapshot tell the same story.
+var (
+	mEngineRequests = telemetry.Default().Meter.Counter("engine.requests")
+	mEngineFaults   = telemetry.Default().Meter.Counter("engine.faults")
+	mEngineOneWay   = telemetry.Default().Meter.Counter("engine.oneway")
 )
 
 func nameInNS(ns, local string) xmlutil.Name { return xmlutil.N(ns, local) }
@@ -164,13 +174,28 @@ func (e *Engine) ServeRequest(ctx context.Context, serviceName string, req *tran
 		}
 		defer a.Release()
 	}
+	span, ctx := telemetry.Default().Tracer.StartSpan(ctx, "server.dispatch")
+	span.SetService(serviceName)
+	span.SetDir(telemetry.DirServer)
 	c := &pipeline.Call{
 		Ctx:     ctx,
 		Dir:     pipeline.ServerDispatch,
 		Service: serviceName,
 		Request: req,
+		Span:    span,
 	}
-	if err := e.pipe.Run(c, e.serveCall); err != nil {
+	start := time.Now()
+	err := e.pipe.Run(c, e.serveCall)
+	telemetry.Default().Calls.Record(serviceName, telemetry.DirServer, time.Since(start), err != nil || (c.Response != nil && c.Response.Faulted))
+	if span != nil {
+		span.SetOp(c.Op) // resolved mid-terminal, so read it after the run
+		span.SetError(err)
+		if err == nil && c.Response != nil && c.Response.Faulted {
+			span.Annotate("dispatch: answered with fault envelope")
+		}
+		span.End()
+	}
+	if err != nil {
 		return nil, err
 	}
 	return c.Response, nil
@@ -181,6 +206,7 @@ func (e *Engine) ServeRequest(ctx context.Context, serviceName string, req *tran
 // and reserves the error return for the pipeline above it.
 func (e *Engine) serveCall(c *pipeline.Call) error {
 	e.nRequests.Add(1)
+	mEngineRequests.Inc()
 	env, fault := e.parseAndCheck(c.Request)
 	version := soap.SOAP11
 	if env != nil {
@@ -194,11 +220,13 @@ func (e *Engine) serveCall(c *pipeline.Call) error {
 	}
 	if oneWay {
 		e.nOneWay.Add(1)
+		mEngineOneWay.Inc()
 		c.Response = &transport.Response{}
 		return nil
 	}
 	if fault != nil {
 		e.nFaults.Add(1)
+		mEngineFaults.Inc()
 		respEnv = soap.NewEnvelopeV(version).SetFault(fault)
 	}
 	c.Response = &transport.Response{

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"wspeer"
 	"wspeer/internal/engine"
 	"wspeer/internal/soap"
+	"wspeer/internal/telemetry"
 	"wspeer/internal/wsdl"
 	"wspeer/internal/xmlutil"
 )
@@ -189,26 +191,62 @@ func AllocBenchTable(rs []AllocBenchResult) *Table {
 	return t
 }
 
-// WriteAllocBenchJSON saves results as a baseline/trajectory file.
-func WriteAllocBenchJSON(path string, rs []AllocBenchResult) error {
-	data, err := json.MarshalIndent(rs, "", "  ")
+// AllocBenchFile is the on-disk form of a benchmark result file: the
+// measurements plus the telemetry spine's view of the same run — per-
+// service call counts and latency quantiles straight from the always-on
+// call table, cross-checking what testing.Benchmark measured from the
+// outside.
+type AllocBenchFile struct {
+	Benchmarks []AllocBenchResult   `json:"benchmarks"`
+	Telemetry  *AllocBenchTelemetry `json:"telemetry,omitempty"`
+}
+
+// AllocBenchTelemetry is the spine snapshot embedded in a result file.
+type AllocBenchTelemetry struct {
+	// Calls carries per-(service, direction) counts and latency figures
+	// (p50/p99 come from the call table's histogram buckets).
+	Calls []telemetry.CallSnapshot `json:"calls"`
+	// Counters is the hub's counter set at collection time.
+	Counters map[string]int64 `json:"counters"`
+}
+
+// CollectBenchTelemetry captures the default hub after a bench run.
+func CollectBenchTelemetry() *AllocBenchTelemetry {
+	snap := telemetry.Default().Snapshot()
+	return &AllocBenchTelemetry{Calls: snap.Calls, Counters: snap.Counters}
+}
+
+// WriteAllocBenchJSON saves results as a baseline/trajectory file in the
+// wrapper form (benchmarks + telemetry). tel may be nil.
+func WriteAllocBenchJSON(path string, rs []AllocBenchResult, tel *AllocBenchTelemetry) error {
+	data, err := json.MarshalIndent(AllocBenchFile{Benchmarks: rs, Telemetry: tel}, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// ReadAllocBenchJSON loads a previously saved baseline.
+// ReadAllocBenchJSON loads a previously saved baseline. Both file forms
+// are accepted: the original bare array of results and the current
+// wrapper object carrying a telemetry snapshot alongside them.
 func ReadAllocBenchJSON(path string) ([]AllocBenchResult, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var rs []AllocBenchResult
-	if err := json.Unmarshal(data, &rs); err != nil {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var rs []AllocBenchResult
+		if err := json.Unmarshal(data, &rs); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return rs, nil
+	}
+	var f AllocBenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return rs, nil
+	return f.Benchmarks, nil
 }
 
 // CompareAllocBenches checks current results against a baseline and

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -302,5 +303,43 @@ func TestChainDepthShape(t *testing.T) {
 	ChainDepthTable(rows).Print(&buf)
 	if !strings.Contains(buf.String(), "A2") {
 		t.Fatal("table did not render")
+	}
+}
+
+func TestAllocBenchJSONForms(t *testing.T) {
+	rs := []AllocBenchResult{
+		{Name: "HTTPInvoke", N: 100, NsPerOp: 50000, BytesPerOp: 20000, AllocsPerOp: 195},
+		{Name: "EngineDispatch", N: 1000, NsPerOp: 6000, BytesPerOp: 5600, AllocsPerOp: 41},
+	}
+
+	// The current wrapper form round-trips with its telemetry snapshot.
+	wrapped := t.TempDir() + "/bench.json"
+	if err := WriteAllocBenchJSON(wrapped, rs, CollectBenchTelemetry()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllocBenchJSON(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "HTTPInvoke" || got[1].AllocsPerOp != 41 {
+		t.Fatalf("wrapper round-trip = %+v", got)
+	}
+
+	// Pre-telemetry baselines are a bare array and must still load.
+	legacy := t.TempDir() + "/legacy.json"
+	if err := os.WriteFile(legacy, []byte(`[{"name":"HTTPInvoke","n":1,"ns_per_op":50000,"bytes_per_op":20000,"allocs_per_op":195}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old, err := ReadAllocBenchJSON(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old) != 1 || old[0].AllocsPerOp != 195 {
+		t.Fatalf("legacy round-trip = %+v", old)
+	}
+
+	// The comparison gate reads either form identically.
+	if errs := CompareAllocBenches(old, rs, 0.20); len(errs) != 0 {
+		t.Fatalf("unexpected regressions: %v", errs)
 	}
 }

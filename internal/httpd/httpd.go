@@ -17,6 +17,7 @@ package httpd
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -31,12 +32,25 @@ import (
 	"wspeer/internal/engine"
 	"wspeer/internal/resilience"
 	"wspeer/internal/soap"
+	"wspeer/internal/telemetry"
 	"wspeer/internal/transport"
 	"wspeer/internal/wsdl"
 )
 
 // BasePath is the URL prefix under which services are exposed.
 const BasePath = "/services/"
+
+// DebugPath is the URL of the host's telemetry snapshot endpoint: a JSON
+// dump of the process-wide spine (counters, gauges, histograms, the
+// per-service call table) plus this host's engine and admission stats.
+const DebugPath = "/debug/wspeer"
+
+// Spine counters for hosted HTTP traffic.
+var (
+	mHostRequests  = telemetry.Default().Meter.Counter("httpd.requests")
+	mHostFaults    = telemetry.Default().Meter.Counter("httpd.faults")
+	mHostOverloads = telemetry.Default().Meter.Counter("httpd.overloads")
+)
 
 // maxRequestBytes bounds request bodies accepted from the network.
 const maxRequestBytes = 64 << 20
@@ -48,6 +62,11 @@ type Interceptor func(service string, req *transport.Request) (resp *transport.R
 
 // Observer receives raw request/response notifications either side of
 // engine processing (the hook the core layer turns into ServerMessageEvents).
+//
+// Deprecated: the observer seam is kept for API compatibility; it fires
+// from the same instrumented point that feeds the telemetry spine. New
+// code should attach a telemetry.Sink to the Default tracer (for spans)
+// or read the spine's snapshot (for counts) instead.
 type Observer func(service string, req *transport.Request, resp *transport.Response)
 
 // Options configures a Host.
@@ -193,6 +212,7 @@ func (h *Host) ensureStarted() error {
 	h.ln = ln
 	mux := http.NewServeMux()
 	mux.HandleFunc(BasePath, h.handle)
+	mux.HandleFunc(DebugPath, h.handleDebug)
 	mux.HandleFunc("/", h.handleIndex)
 	h.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	go h.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
@@ -305,22 +325,33 @@ func (h *Host) handle(w http.ResponseWriter, r *http.Request) {
 		Body:        body,
 	}
 
+	mHostRequests.Inc()
+	ctx := r.Context()
+	// Adopt the caller's trace, if it sent one, so this dispatch's span
+	// links to the client-side invocation span across the wire.
+	if sc, ok := telemetry.ParseTraceHeader(r.Header.Get(telemetry.TraceHeader)); ok {
+		ctx = telemetry.ContextWithSpanContext(ctx, sc)
+	}
+
 	var resp *transport.Response
 	handled := false
 	if interceptor != nil {
 		resp, handled, err = interceptor(service, req)
 		if err != nil {
+			mHostFaults.Inc()
 			writeFault(w, soap.ServerFault(err))
 			return
 		}
 	}
 	if !handled {
-		resp, err = h.eng.ServeRequest(r.Context(), service, req)
+		resp, err = h.eng.ServeRequest(ctx, service, req)
 		if err != nil {
 			if o, ok := resilience.AsOverload(err); ok {
+				mHostOverloads.Inc()
 				writeOverload(w, o)
 				return
 			}
+			mHostFaults.Inc()
 			writeFault(w, soap.ServerFault(err))
 			return
 		}
@@ -338,9 +369,40 @@ func (h *Host) handle(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", ct)
 	if resp.Faulted {
+		mHostFaults.Inc()
 		w.WriteHeader(http.StatusInternalServerError)
 	}
 	w.Write(resp.Body)
+}
+
+// debugSnapshot is the JSON document served at DebugPath.
+type debugSnapshot struct {
+	Telemetry telemetry.Snapshot `json:"telemetry"`
+	Engine    engine.Stats       `json:"engine"`
+	Admission any                `json:"admission,omitempty"`
+	Services  []string           `json:"services"`
+}
+
+func (h *Host) handleDebug(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	names := make([]string, 0, len(h.deployed))
+	for n := range h.deployed {
+		names = append(names, n)
+	}
+	h.mu.Unlock()
+	sort.Strings(names)
+	snap := debugSnapshot{
+		Telemetry: telemetry.Default().Snapshot(),
+		Engine:    h.eng.Stats(),
+		Services:  names,
+	}
+	if a := h.eng.Admission(); a != nil {
+		snap.Admission = a.Stats()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap) //nolint:errcheck // best-effort debug output
 }
 
 func writeFault(w http.ResponseWriter, f *soap.Fault) {

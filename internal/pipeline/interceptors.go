@@ -4,9 +4,18 @@ import (
 	"context"
 	"errors"
 	"math/rand"
-	"sort"
-	"sync"
 	"time"
+
+	"wspeer/internal/telemetry"
+)
+
+// Telemetry handles for the stock interceptors, bound once at init so the
+// hot path is an atomic add with no registry lookup.
+var (
+	mDeadlineExpired = telemetry.Default().Meter.Counter("pipeline.deadline.expired")
+	mRetryAttempts   = telemetry.Default().Meter.Counter("pipeline.retry.attempts")
+	mRetryRetries    = telemetry.Default().Meter.Counter("pipeline.retry.retries")
+	mRetryPreCancel  = telemetry.Default().Meter.Counter("pipeline.retry.precancelled")
 )
 
 // MetaIdempotent is the Meta key that marks a call as safe to retry. The
@@ -27,6 +36,8 @@ func Idempotent(c *Call) bool {
 // remainder of the stack runs under a context that expires d after the
 // call enters this stage. An already-expired context short-circuits
 // without reaching the terminal. Non-positive d disables enforcement.
+// Expirations are surfaced through the telemetry spine (the
+// "pipeline.deadline.expired" counter) and annotated on the call's span.
 func Deadline(d time.Duration) Interceptor {
 	return func(next CallFunc) CallFunc {
 		return func(c *Call) error {
@@ -39,6 +50,8 @@ func Deadline(d time.Duration) Interceptor {
 			c.Ctx = ctx
 			defer func() { c.Ctx = parent }()
 			if err := ctx.Err(); err != nil {
+				mDeadlineExpired.Inc()
+				c.Span.Annotate("deadline: expired before dispatch")
 				return err
 			}
 			err := next(c)
@@ -46,6 +59,8 @@ func Deadline(d time.Duration) Interceptor {
 			// so callers see DeadlineExceeded rather than a transport's
 			// private wrapping of it.
 			if err != nil && ctx.Err() != nil && parent.Err() == nil {
+				mDeadlineExpired.Inc()
+				c.Span.Annotate("deadline: exceeded")
 				return ctx.Err()
 			}
 			return err
@@ -99,6 +114,14 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // exponential backoff and jitter. Between attempts the carrier's Response
 // and Err are cleared so each attempt runs the inner stack clean. The
 // default policy is idempotent-safe: see RetryOptions.Retryable.
+//
+// Attempts are visible to callers through the spine: every attempt counts
+// on "pipeline.retry.attempts", attempts beyond the first on
+// "pipeline.retry.retries", calls refused before their first attempt
+// because the context was already cancelled on
+// "pipeline.retry.precancelled" (the pre-cancel case was previously
+// invisible to every observer), and each retransmission is annotated on
+// the call's span.
 func Retry(opts RetryOptions) Interceptor {
 	if opts.Attempts < 1 {
 		opts.Attempts = 3
@@ -124,6 +147,8 @@ func Retry(opts RetryOptions) Interceptor {
 			// already given up, and the terminal may not check promptly.
 			if c.Ctx != nil {
 				if err := c.Ctx.Err(); err != nil {
+					mRetryPreCancel.Inc()
+					c.Span.Annotate("retry: refused, context cancelled before first attempt")
 					return err
 				}
 			}
@@ -132,9 +157,14 @@ func Retry(opts RetryOptions) Interceptor {
 			for attempt := 1; ; attempt++ {
 				c.Response = nil
 				c.Err = nil
+				mRetryAttempts.Inc()
 				err = next(c)
 				if err == nil || attempt >= opts.Attempts || !opts.Retryable(c, err) {
 					return err
+				}
+				mRetryRetries.Inc()
+				if c.Span != nil {
+					c.Span.Annotatef("retry: attempt %d failed: %v", attempt, err)
 				}
 				d := delay
 				if opts.Jitter > 0 {
@@ -169,53 +199,33 @@ func Events(observe func(c *Call)) Interceptor {
 }
 
 // numLatencyBuckets counts the histogram buckets: one per bound plus the
-// unbounded overflow bucket.
-const numLatencyBuckets = len(latencyBuckets) + 1
-
-// latencyBuckets are the upper bounds of the CallStats histogram; the last
-// bucket is unbounded.
-var latencyBuckets = [...]time.Duration{
-	100 * time.Microsecond,
-	time.Millisecond,
-	10 * time.Millisecond,
-	100 * time.Millisecond,
-	time.Second,
-	10 * time.Second,
-}
+// unbounded overflow bucket. The bounds are the telemetry spine's.
+const numLatencyBuckets = telemetry.NumBuckets
 
 // LatencyBucketBounds returns the histogram's upper bounds (the final,
 // unbounded bucket is not listed — a Snapshot's Buckets slice has one more
-// entry than this).
+// entry than this). They are the telemetry spine's shared bounds.
 func LatencyBucketBounds() []time.Duration {
-	return append([]time.Duration(nil), latencyBuckets[:]...)
-}
-
-type serviceStats struct {
-	calls    int64
-	failures int64
-	total    time.Duration
-	min      time.Duration
-	max      time.Duration
-	buckets  [numLatencyBuckets]int64
+	return telemetry.BucketBounds()
 }
 
 // CallStats measures the calls passing through its interceptor:
 // per-service, per-direction counts, failures and a latency histogram.
 // One CallStats may be installed on several chains; Snapshot aggregates
 // everything it has seen.
+//
+// Deprecated: CallStats is a thin adapter over telemetry.CallTable, kept
+// for API compatibility. The Default telemetry hub already maintains an
+// always-on table fed by core invocations and engine dispatches — read it
+// with telemetry.Default().Calls (or the facade's Snapshot()) instead of
+// installing this interceptor.
 type CallStats struct {
-	mu       sync.Mutex
-	services map[statsKey]*serviceStats
-}
-
-type statsKey struct {
-	service string
-	dir     Direction
+	table *telemetry.CallTable
 }
 
 // NewCallStats returns an empty recorder.
 func NewCallStats() *CallStats {
-	return &CallStats{services: make(map[statsKey]*serviceStats)}
+	return &CallStats{table: telemetry.NewCallTable()}
 }
 
 // Interceptor returns the measuring stage. Install it inside Retry to
@@ -225,43 +235,10 @@ func (s *CallStats) Interceptor() Interceptor {
 		return func(c *Call) error {
 			start := time.Now()
 			err := next(c)
-			s.record(c.Service, c.Dir, time.Since(start), err)
+			s.table.Record(c.Service, c.Dir.String(), time.Since(start), err != nil)
 			return err
 		}
 	}
-}
-
-func (s *CallStats) record(service string, dir Direction, elapsed time.Duration, err error) {
-	if elapsed < 0 {
-		elapsed = 0
-	}
-	bucket := len(latencyBuckets)
-	for i, ub := range latencyBuckets {
-		if elapsed <= ub {
-			bucket = i
-			break
-		}
-	}
-	key := statsKey{service, dir}
-	s.mu.Lock()
-	ss := s.services[key]
-	if ss == nil {
-		ss = &serviceStats{min: elapsed, max: elapsed}
-		s.services[key] = ss
-	}
-	ss.calls++
-	if err != nil {
-		ss.failures++
-	}
-	ss.total += elapsed
-	if elapsed < ss.min {
-		ss.min = elapsed
-	}
-	if elapsed > ss.max {
-		ss.max = elapsed
-	}
-	ss.buckets[bucket]++
-	s.mu.Unlock()
 }
 
 // ServiceSnapshot is one service+direction row of a CallStats snapshot.
@@ -287,40 +264,42 @@ func (s ServiceSnapshot) Mean() time.Duration {
 	return s.TotalLatency / time.Duration(s.Calls)
 }
 
+// directionOf maps a telemetry direction string back onto Direction.
+func directionOf(dir string) Direction {
+	if dir == telemetry.DirServer {
+		return ServerDispatch
+	}
+	return ClientCall
+}
+
+func fromCallSnapshot(row telemetry.CallSnapshot) ServiceSnapshot {
+	return ServiceSnapshot{
+		Service:      row.Service,
+		Dir:          directionOf(row.Dir),
+		Calls:        row.Calls,
+		Failures:     row.Failures,
+		TotalLatency: row.TotalLatency,
+		MinLatency:   row.MinLatency,
+		MaxLatency:   row.MaxLatency,
+		Buckets:      row.Buckets,
+	}
+}
+
 // Snapshot returns a consistent copy of everything recorded so far,
 // ordered by service name then direction.
 func (s *CallStats) Snapshot() []ServiceSnapshot {
-	s.mu.Lock()
-	out := make([]ServiceSnapshot, 0, len(s.services))
-	for key, ss := range s.services {
-		out = append(out, ServiceSnapshot{
-			Service:      key.service,
-			Dir:          key.dir,
-			Calls:        ss.calls,
-			Failures:     ss.failures,
-			TotalLatency: ss.total,
-			MinLatency:   ss.min,
-			MaxLatency:   ss.max,
-			Buckets:      append([]int64(nil), ss.buckets[:]...),
-		})
+	rows := s.table.Snapshot()
+	out := make([]ServiceSnapshot, len(rows))
+	for i, row := range rows {
+		out[i] = fromCallSnapshot(row)
 	}
-	s.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Service != out[j].Service {
-			return out[i].Service < out[j].Service
-		}
-		return out[i].Dir < out[j].Dir
-	})
 	return out
 }
 
 // Service returns the snapshot row for one service+direction (zero row
 // when the pair has not been seen).
 func (s *CallStats) Service(service string, dir Direction) ServiceSnapshot {
-	for _, row := range s.Snapshot() {
-		if row.Service == service && row.Dir == dir {
-			return row
-		}
-	}
-	return ServiceSnapshot{Service: service, Dir: dir}
+	row := fromCallSnapshot(s.table.Service(service, dir.String()))
+	row.Service, row.Dir = service, dir
+	return row
 }

@@ -23,6 +23,7 @@ import (
 	"context"
 	"sync"
 
+	"wspeer/internal/telemetry"
 	"wspeer/internal/transport"
 )
 
@@ -68,6 +69,11 @@ type Call struct {
 	// stack's error here before returning, so observers installed outside
 	// the error return path (Events) see it.
 	Err error
+	// Span is the call's telemetry span, set by the layer that opened the
+	// call (core for client invocations, engine for server dispatches).
+	// It is nil when tracing is disabled; interceptors annotate it
+	// without nil checks (Span methods are nil-receiver-safe).
+	Span *telemetry.Span
 }
 
 // SetMeta stores a cross-interceptor value, allocating Meta on first use.

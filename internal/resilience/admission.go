@@ -10,7 +10,18 @@ import (
 
 	"wspeer/internal/pipeline"
 	"wspeer/internal/soap"
+	"wspeer/internal/telemetry"
 	"wspeer/internal/xmlutil"
+)
+
+// Spine instruments for admission control: lifetime admit/shed counters
+// and live depth gauges. Process-wide across controllers, like the rest
+// of the spine; per-controller figures stay available via Stats.
+var (
+	mAdmAdmitted = telemetry.Default().Meter.Counter("resilience.admission.admitted")
+	mAdmShed     = telemetry.Default().Meter.Counter("resilience.admission.shed")
+	gAdmInflight = telemetry.Default().Meter.Gauge("resilience.admission.inflight")
+	gAdmQueued   = telemetry.Default().Meter.Gauge("resilience.admission.queued")
 )
 
 // AdmissionOptions tunes server-side admission control.
@@ -147,6 +158,8 @@ func (a *Admission) Acquire(ctx context.Context) error {
 	select {
 	case a.sem <- struct{}{}:
 		a.admitted.Add(1)
+		mAdmAdmitted.Inc()
+		gAdmInflight.Add(1)
 		return nil
 	default:
 	}
@@ -160,7 +173,11 @@ func (a *Admission) Acquire(ctx context.Context) error {
 			break
 		}
 	}
-	defer a.queued.Add(-1)
+	gAdmQueued.Add(1)
+	defer func() {
+		a.queued.Add(-1)
+		gAdmQueued.Add(-1)
+	}()
 
 	var timeout <-chan time.Time
 	if a.opts.QueueTimeout > 0 {
@@ -175,6 +192,8 @@ func (a *Admission) Acquire(ctx context.Context) error {
 			return a.refuse("draining", nil)
 		}
 		a.admitted.Add(1)
+		mAdmAdmitted.Inc()
+		gAdmInflight.Add(1)
 		return nil
 	case <-ctx.Done():
 		return a.refuse("deadline expired while queued", ctx.Err())
@@ -184,10 +203,14 @@ func (a *Admission) Acquire(ctx context.Context) error {
 }
 
 // Release returns a slot claimed by a successful Acquire.
-func (a *Admission) Release() { <-a.sem }
+func (a *Admission) Release() {
+	<-a.sem
+	gAdmInflight.Add(-1)
+}
 
 func (a *Admission) refuse(reason string, cause error) error {
 	a.shed.Add(1)
+	mAdmShed.Inc()
 	return &OverloadError{Reason: reason, RetryAfter: a.opts.RetryAfter, cause: cause}
 }
 

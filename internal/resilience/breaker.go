@@ -5,6 +5,17 @@ import (
 	"time"
 
 	"wspeer/internal/pipeline"
+	"wspeer/internal/telemetry"
+)
+
+// Spine instruments for breaker activity: transition counters per target
+// state and a gauge of currently-open breakers, maintained for every
+// breaker whether or not an OnChange hook is installed.
+var (
+	mBreakerOpened   = telemetry.Default().Meter.Counter("resilience.breaker.opened")
+	mBreakerClosed   = telemetry.Default().Meter.Counter("resilience.breaker.closed")
+	mBreakerHalfOpen = telemetry.Default().Meter.Counter("resilience.breaker.halfopen")
+	gBreakerOpen     = telemetry.Default().Meter.Gauge("resilience.breaker.open")
 )
 
 // BreakerState is a circuit breaker's position.
@@ -223,16 +234,33 @@ func (b *Breaker) reset() {
 	b.probes, b.probeOK = 0, 0
 }
 
-// transition must be called with b.mu held; the returned closure fires
-// OnChange and must be invoked after the lock is released.
+// transition must be called with b.mu held; the returned closure reports
+// the change to the telemetry spine and any OnChange hook, and must be
+// invoked after the lock is released.
 func (b *Breaker) transition(to BreakerState) func() {
 	from := b.state
 	b.state = to
-	if b.opts.OnChange == nil || from == to {
+	if from == to {
 		return nil
 	}
 	onChange := b.opts.OnChange
-	return func() { onChange(b.endpoint, from, to) }
+	return func() {
+		switch to {
+		case BreakerOpen:
+			mBreakerOpened.Inc()
+			gBreakerOpen.Add(1)
+		case BreakerHalfOpen:
+			mBreakerHalfOpen.Inc()
+		case BreakerClosed:
+			mBreakerClosed.Inc()
+		}
+		if from == BreakerOpen {
+			gBreakerOpen.Add(-1)
+		}
+		if onChange != nil {
+			onChange(b.endpoint, from, to)
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,248 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic count. Methods are safe on
+// a nil receiver so optional instrumentation degrades to a no-op.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative n is ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value that may move both ways.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is an atomic latency histogram over the spine's shared bucket
+// bounds (BucketBounds plus an overflow bucket).
+type Histogram struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	minNS   atomic.Int64 // math.MaxInt64 until the first observation
+	maxNS   atomic.Int64
+	buckets [NumBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.minNS.Store(math.MaxInt64)
+	return h
+}
+
+// Observe records one duration. Lock-free: a handful of atomic ops.
+func (h *Histogram) Observe(elapsed time.Duration) {
+	if h == nil {
+		return
+	}
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	ns := elapsed.Nanoseconds()
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	casMin(&h.minNS, ns)
+	casMax(&h.maxNS, ns)
+	h.buckets[bucketFor(elapsed)].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, with p50/p99
+// estimated by linear interpolation within the containing bucket.
+type HistogramSnapshot struct {
+	Count int64         `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+	// Buckets counts observations at or under each BucketBounds entry,
+	// plus a final overflow bucket.
+	Buckets []int64       `json:"buckets"`
+	P50     time.Duration `json:"p50_ns"`
+	P99     time.Duration `json:"p99_ns"`
+}
+
+// Mean returns the average observation (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile estimates an arbitrary quantile (0..1) from the buckets.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	return bucketQuantile(s.Buckets, q, s.Min, s.Max)
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     time.Duration(h.sumNS.Load()),
+		Max:     time.Duration(h.maxNS.Load()),
+		Buckets: make([]int64, NumBuckets),
+	}
+	if min := h.minNS.Load(); min != math.MaxInt64 {
+		s.Min = time.Duration(min)
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+func casMin(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v >= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func casMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Meter is a named instrument registry. Lookup is a read-locked map hit;
+// instrumented packages call Counter/Gauge/Histogram once at init and
+// keep the returned handle, so steady-state recording never touches the
+// registry at all.
+type Meter struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewMeter returns an empty registry.
+func NewMeter() *Meter {
+	return &Meter{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (m *Meter) Counter(name string) *Counter {
+	m.mu.RLock()
+	c := m.counters[name]
+	m.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c = m.counters[name]; c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (m *Meter) Gauge(name string) *Gauge {
+	m.mu.RLock()
+	g := m.gauges[name]
+	m.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g = m.gauges[name]; g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (m *Meter) Histogram(name string) *Histogram {
+	m.mu.RLock()
+	h := m.hists[name]
+	m.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h = m.hists[name]; h == nil {
+		h = newHistogram()
+		m.hists[name] = h
+	}
+	return h
+}
+
+// snapshot copies every instrument's current value.
+func (m *Meter) snapshot() (counters, gauges map[string]int64, hists map[string]HistogramSnapshot) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	counters = make(map[string]int64, len(m.counters))
+	for name, c := range m.counters {
+		counters[name] = c.Value()
+	}
+	gauges = make(map[string]int64, len(m.gauges))
+	for name, g := range m.gauges {
+		gauges[name] = g.Value()
+	}
+	hists = make(map[string]HistogramSnapshot, len(m.hists))
+	for name, h := range m.hists {
+		hists[name] = h.Snapshot()
+	}
+	return counters, gauges, hists
+}

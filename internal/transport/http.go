@@ -15,6 +15,14 @@ import (
 	"time"
 
 	"wspeer/internal/soap"
+	"wspeer/internal/telemetry"
+)
+
+// Spine counters for the HTTP transport family (http and httpg share the
+// same POST path).
+var (
+	mHTTPPosts  = telemetry.Default().Meter.Counter("transport.http.posts")
+	mHTTPErrors = telemetry.Default().Meter.Counter("transport.http.errors")
 )
 
 // maxResponseBytes bounds response bodies read from the network.
@@ -61,16 +69,19 @@ const maxPooledRespBuf = 1 << 20
 func readBody(r io.Reader) ([]byte, error) {
 	buf := respBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
-	_, err := buf.ReadFrom(io.LimitReader(r, maxResponseBytes))
-	var body []byte
-	if err == nil {
-		body = make([]byte, buf.Len())
-		copy(body, buf.Bytes())
+	// Return the buffer on every exit — success, read error, or panic in
+	// ReadFrom — so an error path can never leak it from the pool.
+	defer func() {
+		if buf.Cap() <= maxPooledRespBuf {
+			respBufPool.Put(buf)
+		}
+	}()
+	if _, err := buf.ReadFrom(io.LimitReader(r, maxResponseBytes)); err != nil {
+		return nil, err
 	}
-	if buf.Cap() <= maxPooledRespBuf {
-		respBufPool.Put(buf)
-	}
-	return body, err
+	body := make([]byte, buf.Len())
+	copy(body, buf.Bytes())
+	return body, nil
 }
 
 // HTTPTransport carries SOAP 1.1 over HTTP POST.
@@ -109,6 +120,11 @@ func (t *HTTPTransport) post(ctx context.Context, url string, req *Request, deco
 	hr.Header.Set("Content-Type", ct)
 	// SOAP 1.1 requires the SOAPAction header, quoted.
 	hr.Header.Set(SOAPActionHeader, `"`+req.Action+`"`)
+	// Propagate the caller's trace across the wire so the server-side
+	// dispatch span links to the client invocation span.
+	if sc, ok := telemetry.SpanContextFromContext(ctx); ok {
+		hr.Header.Set(telemetry.TraceHeader, telemetry.FormatTraceHeader(sc))
+	}
 	if decorate != nil {
 		decorate(hr)
 	}
@@ -116,13 +132,16 @@ func (t *HTTPTransport) post(ctx context.Context, url string, req *Request, deco
 	if client == nil {
 		client = http.DefaultClient
 	}
+	mHTTPPosts.Inc()
 	resp, err := client.Do(hr)
 	if err != nil {
+		mHTTPErrors.Inc()
 		return nil, fmt.Errorf("transport/http: POST %s: %w", url, err)
 	}
 	defer resp.Body.Close()
 	body, err := readBody(resp.Body)
 	if err != nil {
+		mHTTPErrors.Inc()
 		return nil, fmt.Errorf("transport/http: reading response: %w", err)
 	}
 	switch {
@@ -135,6 +154,7 @@ func (t *HTTPTransport) post(ctx context.Context, url string, req *Request, deco
 		// envelope body. Hand it up for envelope-level handling.
 		return &Response{ContentType: resp.Header.Get("Content-Type"), Body: body, Faulted: true}, nil
 	default:
+		mHTTPErrors.Inc()
 		return nil, fmt.Errorf("transport/http: POST %s: unexpected status %s", url, resp.Status)
 	}
 }

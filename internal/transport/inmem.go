@@ -6,7 +6,13 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"wspeer/internal/telemetry"
 )
+
+// mInmemCalls mirrors every network's Calls counter onto the spine, so
+// one snapshot covers process-local traffic alongside the wire transports.
+var mInmemCalls = telemetry.Default().Meter.Counter("transport.inmem.calls")
 
 // InMemNetwork is a process-local transport: endpoints of the form
 // mem://<host>/<path> are served by handlers registered on the network.
@@ -63,6 +69,7 @@ func (t *inMemTransport) Call(ctx context.Context, req *Request) (*Response, err
 		return nil, fmt.Errorf("transport/mem: no handler at %q", req.Endpoint)
 	}
 	n.calls.Add(1)
+	mInmemCalls.Inc()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

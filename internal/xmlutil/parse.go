@@ -23,9 +23,10 @@ import (
 const xmlNamespace = "http://www.w3.org/XML/1998/namespace"
 
 const (
-	internMapMax  = 1024 // entries kept in a pooled intern map
-	internTextMax = 64   // longest string worth interning
-	elementSlab   = 32   // Elements allocated per batch
+	internMapMax  = 1024     // entries kept in a pooled intern map
+	internTextMax = 64       // longest string worth interning
+	elementSlab   = 32       // Elements allocated per batch
+	scratchMax    = 64 << 10 // largest entity-decoding buffer worth pooling
 )
 
 type rawName struct {
@@ -60,6 +61,23 @@ func ParseBytes(b []byte) (*Element, error) {
 	p.slab = nil
 	if len(p.intern) > internMapMax {
 		p.intern = make(map[string]string)
+	}
+	// tags and pend hold byte slices into the parsed document; zero the
+	// full capacity (truncation alone leaves stale entries between len and
+	// cap) so a pooled parser does not pin the caller's buffer, and drop an
+	// outsized scratch buffer.
+	tags := p.tags[:cap(p.tags)]
+	for i := range tags {
+		tags[i] = rawName{}
+	}
+	p.tags = tags[:0]
+	pend := p.pend[:cap(p.pend)]
+	for i := range pend {
+		pend[i] = pendingAttr{}
+	}
+	p.pend = pend[:0]
+	if cap(p.scratch) > scratchMax {
+		p.scratch = nil
 	}
 	parserPool.Put(p)
 	return root, err

@@ -65,6 +65,7 @@ import (
 	"wspeer/internal/pipeline"
 	"wspeer/internal/resilience"
 	"wspeer/internal/soap"
+	"wspeer/internal/telemetry"
 	"wspeer/internal/transport"
 	"wspeer/internal/uddi"
 	"wspeer/internal/wsdl"
@@ -152,10 +153,49 @@ type (
 	// RetryOptions tunes the Retry interceptor.
 	RetryOptions = pipeline.RetryOptions
 	// CallStats aggregates per-service call counts and latency.
+	//
+	// Deprecated: a thin adapter over the telemetry spine's call table;
+	// read Snapshot() instead of installing a CallStats interceptor.
 	CallStats = pipeline.CallStats
 	// ServiceSnapshot is one service's aggregated statistics.
 	ServiceSnapshot = pipeline.ServiceSnapshot
 )
+
+// The telemetry spine (DESIGN.md §12): every layer — pipeline
+// interceptors, engine dispatch, core invocation and events, transports,
+// hosts and the resilience layer — records into one process-wide hub of
+// spans, counters, gauges, histograms and a per-service call table.
+type (
+	// TelemetryHub bundles the spine's tracer, meter and call table.
+	TelemetryHub = telemetry.Hub
+	// TelemetrySnapshot is a point-in-time copy of every instrument.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetrySink receives ended spans (attach with Telemetry().Tracer.SetSink).
+	TelemetrySink = telemetry.Sink
+	// Span is one timed operation: a client invocation or a server
+	// dispatch, linked to its trace across the wire.
+	Span = telemetry.Span
+	// SpanData is an ended span as delivered to a sink.
+	SpanData = telemetry.SpanData
+	// SpanCollector is a bounded in-memory sink for tests and debugging.
+	SpanCollector = telemetry.Collector
+	// CallSnapshot is one service+direction row of the spine's call table.
+	CallSnapshot = telemetry.CallSnapshot
+)
+
+// Telemetry returns the process-wide telemetry hub every layer records
+// into. Attach a sink to Telemetry().Tracer to receive spans; read
+// counters and the call table through Snapshot.
+func Telemetry() *TelemetryHub { return telemetry.Default() }
+
+// Snapshot returns a point-in-time copy of the process-wide telemetry:
+// counters, gauges, histograms and the per-service call table. The same
+// document is served as JSON at an HTTP host's /debug/wspeer endpoint.
+func Snapshot() TelemetrySnapshot { return telemetry.Default().Snapshot() }
+
+// NewSpanCollector returns a bounded in-memory span sink (default
+// capacity 4096 for capacity <= 0).
+func NewSpanCollector(capacity int) *SpanCollector { return telemetry.NewCollector(capacity) }
 
 // Call directions.
 const (
