@@ -5,7 +5,7 @@
 GO ?= go
 BENCH_BASELINE ?= bench_baseline.json
 
-.PHONY: all build vet test race bench bench-baseline bench-compare harness chaos examples loc clean check
+.PHONY: all build vet test race bench bench-baseline bench-compare bench-throughput harness chaos examples loc clean check
 
 all: build vet test
 
@@ -30,16 +30,22 @@ race:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# Capture the invocation fast-path measurements as the comparison baseline.
+# Capture the invocation fast-path and throughput measurements as the
+# comparison baseline (calls/sec rides along in the JSON).
 bench-baseline:
-	$(GO) run ./cmd/benchharness -experiments A3 -benchjson $(BENCH_BASELINE)
+	$(GO) run ./cmd/benchharness -experiments A3,A4 -benchjson $(BENCH_BASELINE)
 
 # Re-measure and fail loudly on a >20% ns/op or allocs/op regression
 # against the saved baseline.
 bench-compare:
 	$(GO) run ./cmd/benchharness -experiments A3 -bench-compare $(BENCH_BASELINE)
 
-# Regenerate every experiment table (E1-E10, A1-A3, R1).
+# Throughput experiments (A4): cached vs uncached resolution and the
+# scatter-gather burst, in calls per second.
+bench-throughput:
+	$(GO) run ./cmd/benchharness -experiments A4
+
+# Regenerate every experiment table (E1-E10, A1-A4, R1).
 harness:
 	$(GO) run ./cmd/benchharness
 

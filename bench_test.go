@@ -633,3 +633,156 @@ func BenchmarkPipelineOverhead(b *testing.B) {
 		}
 	})
 }
+
+// ---------------------------------------------------------------------------
+// Throughput benchmarks (E12): resolution cache and bounded scheduler.
+
+// uddiBenchRig publishes one echo service in a live UDDI-over-HTTP
+// registry and returns a peer whose locator discovers it.
+func uddiBenchRig(b *testing.B) (*wspeer.Peer, func()) {
+	b.Helper()
+	registryHost := httpd.New(engine.New(), httpd.Options{})
+	registryURL, err := registryHost.Deploy(wspeer.UDDIServiceDef(wspeer.NewUDDIRegistry()))
+	if err != nil {
+		registryHost.Close()
+		b.Fatal(err)
+	}
+	peer := wspeer.NewPeer()
+	binding, err := wspeer.NewHTTPBinding(wspeer.HTTPOptions{UDDIEndpoint: registryURL})
+	if err != nil {
+		registryHost.Close()
+		b.Fatal(err)
+	}
+	binding.Attach(peer)
+	if _, err := peer.Server().DeployAndPublish(context.Background(), benchEchoDef("Echo")); err != nil {
+		binding.Close()
+		registryHost.Close()
+		b.Fatal(err)
+	}
+	return peer, func() {
+		binding.Close()
+		registryHost.Close()
+	}
+}
+
+// BenchmarkLocateUncached (E12): every resolution is a live UDDI inquiry
+// over HTTP — the cost LocateCached amortizes away.
+func BenchmarkLocateUncached(b *testing.B) {
+	peer, cleanup := uddiBenchRig(b)
+	defer cleanup()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		infos, err := peer.Client().Locate(ctx, wspeer.NameQuery{Name: "Echo"})
+		if err != nil || len(infos) == 0 {
+			b.Fatalf("locate: %v %v", infos, err)
+		}
+	}
+}
+
+// BenchmarkLocateCached (E12): repeated resolution of the same query
+// through the per-client resolution cache.
+func BenchmarkLocateCached(b *testing.B) {
+	peer, cleanup := uddiBenchRig(b)
+	defer cleanup()
+	ctx := context.Background()
+	// Long TTL: this measures the steady-state hit, not refresh churn.
+	peer.Client().ConfigureResolutionCache(wspeer.ResolutionCacheOptions{TTL: time.Hour})
+	if _, err := peer.Client().LocateCached(ctx, wspeer.NameQuery{Name: "Echo"}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		infos, err := peer.Client().LocateCached(ctx, wspeer.NameQuery{Name: "Echo"})
+		if err != nil || len(infos) == 0 {
+			b.Fatalf("locate: %v %v", infos, err)
+		}
+	}
+}
+
+// invokeManyRig deploys one HTTP echo service and fans a burst of
+// invocation targets at it. serviceTime > 0 adds simulated work per call
+// — the latency-bound regime (a remote peer across a network) where a
+// concurrent scatter pays off even on one CPU.
+func invokeManyRig(b *testing.B, burst int, serviceTime time.Duration) (*wspeer.Peer, []*wspeer.ServiceInfo, func()) {
+	b.Helper()
+	peer := wspeer.NewPeer()
+	binding, err := wspeer.NewHTTPBinding(wspeer.HTTPOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	binding.Attach(peer)
+	def := benchEchoDef("Echo")
+	if serviceTime > 0 {
+		def.Operations[0].Func = func(s string) string {
+			time.Sleep(serviceTime)
+			return s
+		}
+	}
+	dep, err := peer.Server().Deploy(def)
+	if err != nil {
+		binding.Close()
+		b.Fatal(err)
+	}
+	svcs := make([]*wspeer.ServiceInfo, burst)
+	for i := range svcs {
+		svcs[i] = &wspeer.ServiceInfo{Name: "Echo", Endpoint: dep.Endpoint, Definitions: dep.Definitions}
+	}
+	return peer, svcs, func() { binding.Close() }
+}
+
+func benchInvokeSequential(b *testing.B, serviceTime time.Duration) {
+	peer, svcs, cleanup := invokeManyRig(b, 100, serviceTime)
+	defer cleanup()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, svc := range svcs {
+			inv, err := peer.Client().NewInvocation(svc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := inv.Invoke(ctx, "echo", wspeer.P("msg", "x")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchInvokeMany(b *testing.B, serviceTime time.Duration) {
+	peer, svcs, cleanup := invokeManyRig(b, 100, serviceTime)
+	defer cleanup()
+	peer.Client().ConfigureScheduler(wspeer.SchedulerOptions{MaxConcurrent: 32, MaxQueue: 256})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := peer.Client().InvokeMany(ctx, svcs, "echo", []wspeer.Param{wspeer.P("msg", "x")})
+		for _, r := range out {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkInvokeSequential100 (E12): the baseline a scatter is judged
+// against — 100 loopback calls, one at a time, one goroutine.
+func BenchmarkInvokeSequential100(b *testing.B) { benchInvokeSequential(b, 0) }
+
+// BenchmarkInvokeMany100 (E12): the same 100 loopback calls as one
+// scatter-gather burst on the bounded scheduler. Loopback echo is pure
+// CPU, so this measures scheduler overhead, not concurrency win.
+func BenchmarkInvokeMany100(b *testing.B) { benchInvokeMany(b, 0) }
+
+// BenchmarkInvokeSequential100Latency (E12): 100 sequential calls against
+// a service with 1ms simulated service time — the remote-peer regime.
+func BenchmarkInvokeSequential100Latency(b *testing.B) { benchInvokeSequential(b, time.Millisecond) }
+
+// BenchmarkInvokeMany100Latency (E12): the same latency-bound burst
+// scattered on the scheduler; waits overlap, so the burst approaches
+// burst/MaxConcurrent service times instead of burst of them.
+func BenchmarkInvokeMany100Latency(b *testing.B) { benchInvokeMany(b, time.Millisecond) }

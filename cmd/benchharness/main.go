@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	which := flag.String("experiments", "all", "comma-separated experiment IDs (E1..E10, A1..A3, R1) or 'all'")
+	which := flag.String("experiments", "all", "comma-separated experiment IDs (E1..E10, A1..A4, R1) or 'all'")
 	seed := flag.Int64("seed", 42, "deterministic seed for simulated experiments")
 	peersFlag := flag.String("peers", "32,128,512", "network sizes for E5 (comma-separated)")
 	queries := flag.Int("queries", 100, "queries per configuration for E5/E6")
@@ -42,6 +42,7 @@ func main() {
 		wanted["A1"] = true
 		wanted["A2"] = true
 		wanted["A3"] = true
+		wanted["A4"] = true
 		wanted["R1"] = true
 	} else {
 		for _, id := range strings.Split(*which, ",") {
@@ -125,12 +126,19 @@ func main() {
 		check(err)
 		experiments.ResilienceTable(rows).Print(os.Stdout)
 	}
+	var throughput []experiments.ThroughputResult
+	if wanted["A4"] {
+		rs, err := experiments.RunThroughput()
+		check(err)
+		experiments.ThroughputTable(rs).Print(os.Stdout)
+		throughput = rs
+	}
 	if wanted["A3"] || *benchJSON != "" || *benchCompare != "" {
 		rs, err := experiments.RunAllocBenches()
 		check(err)
 		experiments.AllocBenchTable(rs).Print(os.Stdout)
 		if *benchJSON != "" {
-			check(experiments.WriteAllocBenchJSON(*benchJSON, rs, experiments.CollectBenchTelemetry()))
+			check(experiments.WriteAllocBenchJSON(*benchJSON, rs, throughput, experiments.CollectBenchTelemetry()))
 			fmt.Printf("wrote %s\n", *benchJSON)
 		}
 		if *benchCompare != "" {

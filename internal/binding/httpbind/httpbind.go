@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -240,6 +241,18 @@ type UDDIQuery struct {
 
 // QueryName implements core.ServiceQuery.
 func (q UDDIQuery) QueryName() string { return q.Name }
+
+// CacheKey implements core.CacheKeyer: the resolution-cache identity is
+// the name pattern, the row bound and the category constraints in
+// canonical (sorted) order, so equivalent queries share a cache line.
+func (q UDDIQuery) CacheKey() string {
+	cats := make([]string, 0, len(q.Categories))
+	for _, kr := range q.Categories {
+		cats = append(cats, kr.TModelKey+"\x00"+kr.KeyName+"\x00"+kr.KeyValue)
+	}
+	sort.Strings(cats)
+	return fmt.Sprintf("uddi|%s|max=%d|%s", q.Name, q.MaxRows, strings.Join(cats, "\x01"))
+}
 
 type locator struct{ b *Binding }
 

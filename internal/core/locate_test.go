@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gatedLocator blocks its discovery until the test opens the gate — the
+// deterministic stand-in for a slow P2P search.
+type gatedLocator struct {
+	name    string
+	gate    chan struct{}
+	results []*ServiceInfo
+}
+
+func (g *gatedLocator) Name() string { return g.name }
+func (g *gatedLocator) Locate(ctx context.Context, q ServiceQuery, found func(*ServiceInfo)) error {
+	select {
+	case <-g.gate:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	for _, r := range g.results {
+		found(r)
+	}
+	return nil
+}
+
+// TestLocateAsyncStreams proves hits are delivered as locators report
+// them, not buffered until the whole search completes: the slow locator's
+// gate only opens after the fast locator's hit has already been streamed
+// to onFound. The pre-streaming implementation (results collected, then
+// replayed after Locate returned) deadlocks here and times out.
+func TestLocateAsyncStreams(t *testing.T) {
+	p := NewPeer()
+	gate := make(chan struct{})
+	p.Client().AddLocator(&fakeLocator{
+		name:    "fast",
+		results: []*ServiceInfo{{Name: "Echo", Endpoint: "http://fast/Echo"}},
+	})
+	p.Client().AddLocator(&gatedLocator{
+		name:    "slow",
+		gate:    gate,
+		results: []*ServiceInfo{{Name: "Echo", Endpoint: "p2ps://slow/Echo"}},
+	})
+
+	finds := make(chan string, 2)
+	done := make(chan error, 1)
+	var once sync.Once
+	p.Client().LocateAsync(context.Background(), NameQuery{Name: "Echo"},
+		func(info *ServiceInfo) {
+			finds <- info.Endpoint
+			once.Do(func() { close(gate) }) // first streamed hit releases the slow search
+		},
+		func(err error) { done <- err })
+
+	got := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		select {
+		case ep := <-finds:
+			got[ep] = true
+		case <-time.After(5 * time.Second):
+			t.Fatalf("hit %d never streamed (got %v) — results were buffered", i, got)
+		}
+	}
+	if !got["http://fast/Echo"] || !got["p2ps://slow/Echo"] {
+		t.Fatalf("hits = %v", got)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("onDone never fired")
+	}
+}
+
+// TestLocatorMutationDuringLocate races AddLocator/RemoveLocator against
+// live discoveries; run under -race it proves the locator list snapshot
+// is safe against concurrent mutation.
+func TestLocatorMutationDuringLocate(t *testing.T) {
+	p := NewPeer()
+	base := &fakeLocator{
+		name:    "base",
+		delay:   time.Millisecond,
+		results: []*ServiceInfo{{Name: "Echo", Endpoint: "http://base/Echo"}},
+	}
+	p.Client().AddLocator(base)
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // churn: transient locators come and go mid-search
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			l := &fakeLocator{
+				name:    fmt.Sprintf("transient-%d", i),
+				results: []*ServiceInfo{{Name: "Echo", Endpoint: fmt.Sprintf("http://t%d/Echo", i)}},
+			}
+			p.Client().AddLocator(l)
+			if !p.Client().RemoveLocator(l) {
+				t.Error("transient locator not removed")
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			infos, err := p.Client().Locate(ctx, NameQuery{Name: "Echo"})
+			if err != nil {
+				t.Errorf("locate %d: %v", i, err)
+				return
+			}
+			// The base locator is never removed, so its hit is always there.
+			found := false
+			for _, info := range infos {
+				if info.Endpoint == "http://base/Echo" {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("locate %d lost the stable locator's hit: %v", i, infos)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Removing a never-added locator reports false.
+	if p.Client().RemoveLocator(&fakeLocator{name: "ghost"}) {
+		t.Fatal("ghost locator removed")
+	}
+}
+
+// TestLocateOneErrorPaths pins LocateOne's two empty outcomes apart: no
+// results with healthy locators is a "no service found" miss, while no
+// results because every locator failed surfaces the joined error.
+func TestLocateOneErrorPaths(t *testing.T) {
+	// Healthy locators, nothing matching.
+	p := NewPeer()
+	p.Client().AddLocator(&fakeLocator{name: "l", results: []*ServiceInfo{{Name: "Other", Endpoint: "http://o"}}})
+	_, err := p.Client().LocateOne(context.Background(), NameQuery{Name: "Echo"})
+	if err == nil || err.Error() != `core: no service found for "Echo"` {
+		t.Fatalf("miss err = %v", err)
+	}
+
+	// Every locator failing: the joined error wins over the miss message.
+	p2 := NewPeer()
+	errA, errB := errors.New("registry down"), errors.New("pipe broken")
+	p2.Client().AddLocator(&fakeLocator{name: "a", err: errA})
+	p2.Client().AddLocator(&fakeLocator{name: "b", err: errB})
+	_, err = p2.Client().LocateOne(context.Background(), NameQuery{Name: "Echo"})
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("joined err = %v", err)
+	}
+
+	// Partial failure with a hit: the hit wins, no error.
+	p3 := NewPeer()
+	p3.Client().AddLocator(&fakeLocator{name: "a", err: errA})
+	p3.Client().AddLocator(&fakeLocator{name: "ok", results: []*ServiceInfo{{Name: "Echo", Endpoint: "http://ok"}}})
+	info, err := p3.Client().LocateOne(context.Background(), NameQuery{Name: "Echo"})
+	if err != nil || info.Endpoint != "http://ok" {
+		t.Fatalf("partial = %+v, %v", info, err)
+	}
+}

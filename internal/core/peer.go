@@ -10,6 +10,7 @@ import (
 	"wspeer/internal/engine"
 	"wspeer/internal/pipeline"
 	"wspeer/internal/resilience"
+	"wspeer/internal/resolve"
 	"wspeer/internal/telemetry"
 	"wspeer/internal/transport"
 )
@@ -50,6 +51,8 @@ func NewPeer() *Peer {
 			Err:       c.Err,
 		})
 	}))
+	p.client.rcache = resolve.New(resolve.Options{})
+	p.client.sched = newScheduler(SchedulerOptions{})
 	p.client.ConfigureBreakers(resilience.BreakerOptions{})
 	p.server = &Server{peer: p, deployments: make(map[string]*Deployment), published: make(map[string][]publication)}
 	return p
@@ -94,6 +97,8 @@ type Client struct {
 	locators []ServiceLocator
 	invokers map[string]Invoker // by endpoint scheme
 	breakers *resilience.Group  // endpoint health registry
+	rcache   *resolve.Cache     // discovery resolution cache (LocateCached)
+	sched    *scheduler         // bounded pool behind InvokeAsync/InvokeMany
 }
 
 // Use installs client-side pipeline interceptors (Deadline, Retry,
@@ -112,6 +117,12 @@ func (c *Client) ConfigureBreakers(opts resilience.BreakerOptions) {
 	opts.OnChange = func(ep string, from, to resilience.BreakerState) {
 		if user != nil {
 			user(ep, from, to)
+		}
+		// A breaker opening condemns the endpoint: evict it from every
+		// cached resolution so LocateCached stops offering it until a
+		// live re-discovery (or half-open recovery) brings it back.
+		if to == resilience.BreakerOpen {
+			c.ResolutionCache().EvictEndpoint(ep)
 		}
 		c.peer.bus.fireHealth(HealthEvent{Endpoint: ep, From: from.String(), To: to.String()})
 	}
@@ -207,12 +218,27 @@ func (c *Client) Locators() []ServiceLocator {
 // reported as events and in the joined error, but do not suppress results
 // from other locators.
 func (c *Client) Locate(ctx context.Context, q ServiceQuery) ([]*ServiceInfo, error) {
+	var found []*ServiceInfo
+	n, err := c.locate(ctx, q, func(info *ServiceInfo) { found = append(found, info) })
+	if n == 0 && err != nil {
+		return nil, err
+	}
+	return found, nil
+}
+
+// locate is the shared discovery walk behind Locate and LocateAsync: the
+// query runs against every registered locator concurrently, each hit is
+// delivered to emit as the locator reports it (emit calls are serialized,
+// never concurrent), and each hit and failure fires a DiscoveryEvent. It
+// returns the number of hits and the joined locator error; the final
+// Done event fires before it returns.
+func (c *Client) locate(ctx context.Context, q ServiceQuery, emit func(*ServiceInfo)) (int, error) {
 	locators := c.Locators()
 	if len(locators) == 0 {
-		return nil, ErrNoLocator
+		return 0, ErrNoLocator
 	}
 	var mu sync.Mutex
-	var found []*ServiceInfo
+	var found int
 	var errs []error
 	var wg sync.WaitGroup
 	for _, loc := range locators {
@@ -224,7 +250,8 @@ func (c *Client) Locate(ctx context.Context, q ServiceQuery) ([]*ServiceInfo, er
 					info.Locator = loc.Name()
 				}
 				mu.Lock()
-				found = append(found, info)
+				found++
+				emit(info)
 				mu.Unlock()
 				c.peer.bus.fireDiscovery(DiscoveryEvent{Query: q, Service: info, Locator: loc.Name()})
 			})
@@ -239,21 +266,25 @@ func (c *Client) Locate(ctx context.Context, q ServiceQuery) ([]*ServiceInfo, er
 	wg.Wait()
 	err := errors.Join(errs...)
 	c.peer.bus.fireDiscovery(DiscoveryEvent{Query: q, Done: true, Err: err})
-	if len(found) == 0 && err != nil {
-		return nil, err
-	}
-	return found, nil
+	return found, err
 }
 
 // LocateAsync starts a discovery and returns immediately; results arrive
 // through the peer's DiscoveryEvents and through the optional callbacks.
+// Each hit is streamed to onFound as its locator reports it — the
+// event-driven mode the paper describes — not buffered until the whole
+// search completes; onFound calls are serialized. onDone receives the
+// joined locator error only when nothing was found (matching Locate's
+// partial-failure rule), after every onFound has returned.
 func (c *Client) LocateAsync(ctx context.Context, q ServiceQuery, onFound func(*ServiceInfo), onDone func(error)) {
 	go func() {
-		infos, err := c.Locate(ctx, q)
-		if onFound != nil {
-			for _, info := range infos {
+		n, err := c.locate(ctx, q, func(info *ServiceInfo) {
+			if onFound != nil {
 				onFound(info)
 			}
+		})
+		if n > 0 {
+			err = nil
 		}
 		if onDone != nil {
 			onDone(err)
@@ -451,6 +482,10 @@ func (inv *Invocation) invokeFailover(c *pipeline.Call, op string, params []engi
 		if resilience.Classify(err) != resilience.Failure {
 			break // an application fault or cancellation: not the substrate's doing
 		}
+		// A substrate failure demotes the endpoint in every cached
+		// resolution, so the next LocateCached-fed failover walk tries
+		// healthier endpoints first.
+		inv.client.ResolutionCache().DemoteEndpoint(t.svc.Endpoint)
 	}
 	return nil, lastErr
 }
@@ -459,13 +494,26 @@ func (inv *Invocation) invokeFailover(c *pipeline.Call, op string, params []engi
 // the callback (which may be nil — events still fire) from another
 // goroutine. This is the event-driven mode the paper argues suits
 // "P2P style interactions with unreliable nodes".
+//
+// The call runs on the client's bounded invocation scheduler (see
+// ConfigureScheduler) rather than a goroutine per call: a burst of
+// submissions holds at most MaxConcurrent invocations in flight, queued
+// submissions are shed with a *resilience.OverloadError when the queue
+// fills or the context expires while waiting, and the shed outcome
+// arrives at the callback like any other error.
 func (inv *Invocation) InvokeAsync(ctx context.Context, op string, params []engine.Param, cb func(*engine.Result, error)) {
-	go func() {
-		res, err := inv.Invoke(ctx, op, params...)
-		if cb != nil {
-			cb(res, err)
-		}
-	}()
+	inv.client.schedulerRef().submit(ctx,
+		func() {
+			res, err := inv.Invoke(ctx, op, params...)
+			if cb != nil {
+				cb(res, err)
+			}
+		},
+		func(err error) {
+			if cb != nil {
+				cb(nil, err)
+			}
+		})
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wspeer/internal/resilience"
+	"wspeer/internal/telemetry"
+)
+
+// Spine instruments for the client-side invocation scheduler: lifetime
+// submit/complete/shed counters, live queue-depth and inflight gauges
+// (delta-maintained, so concurrent clients sum) and a queue-wait
+// histogram.
+var (
+	mSchedSubmitted = telemetry.Default().Meter.Counter("core.sched.submitted")
+	mSchedCompleted = telemetry.Default().Meter.Counter("core.sched.completed")
+	mSchedShed      = telemetry.Default().Meter.Counter("core.sched.shed")
+	gSchedInflight  = telemetry.Default().Meter.Gauge("core.sched.inflight")
+	gSchedQueued    = telemetry.Default().Meter.Gauge("core.sched.queued")
+	hSchedWait      = telemetry.Default().Meter.Histogram("core.sched.wait")
+)
+
+// SchedulerOptions tunes a client's bounded invocation scheduler — the
+// worker pool behind InvokeAsync and InvokeMany. The queue reuses the
+// admission-control pattern from the resilience layer (DESIGN.md §10):
+// a hard concurrency cap fronted by a bounded, deadline-aware queue that
+// sheds with *resilience.OverloadError instead of spawning goroutines
+// without bound.
+type SchedulerOptions struct {
+	// MaxConcurrent is the hard cap on concurrently executing
+	// invocations (default 64). The pool never runs more goroutines
+	// than this.
+	MaxConcurrent int
+	// MaxQueue is how many submitted invocations may wait for a worker
+	// (default 1024). Submissions past the bound are shed immediately.
+	MaxQueue int
+	// QueueTimeout bounds how long a queued invocation may wait before
+	// being shed, independently of its context deadline (default 0:
+	// wait as long as the context allows).
+	QueueTimeout time.Duration
+	// RetryAfter is the backoff advertised on shed errors (default 1s).
+	RetryAfter time.Duration
+}
+
+func (o SchedulerOptions) withDefaults() SchedulerOptions {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 64
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 1024
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	return o
+}
+
+// SchedulerStats is a point-in-time snapshot of a client's scheduler.
+type SchedulerStats struct {
+	// InFlight is the number of invocations currently executing.
+	InFlight int
+	// Queued is the number of invocations waiting for a worker.
+	Queued int
+	// Submitted counts invocations ever accepted into the queue.
+	Submitted int64
+	// Completed counts invocations that ran to completion.
+	Completed int64
+	// Shed counts invocations refused: full queue, expired context or
+	// queue-timeout overrun while waiting.
+	Shed int64
+}
+
+// schedTask is one queued invocation.
+type schedTask struct {
+	ctx      context.Context
+	enqueued time.Time
+	run      func()
+	reject   func(error)
+}
+
+// scheduler is the bounded worker pool every Invocation.InvokeAsync and
+// Client.InvokeMany submission runs on. Workers are spawned lazily up to
+// MaxConcurrent and exit when the queue drains, so an idle client holds
+// no goroutines; a saturated client holds exactly MaxConcurrent.
+type scheduler struct {
+	opts  SchedulerOptions
+	queue chan schedTask
+
+	mu      sync.Mutex
+	workers int
+
+	inflight  atomic.Int64
+	submitted atomic.Int64
+	completed atomic.Int64
+	shed      atomic.Int64
+}
+
+func newScheduler(opts SchedulerOptions) *scheduler {
+	o := opts.withDefaults()
+	return &scheduler{opts: o, queue: make(chan schedTask, o.MaxQueue)}
+}
+
+// submit enqueues one invocation. run executes on a pool worker; reject
+// is called (from its own goroutine) with a *resilience.OverloadError
+// when the task is shed instead of run. ctx is consulted while the task
+// waits: a context that expires in the queue sheds the task without
+// invoking it.
+func (s *scheduler) submit(ctx context.Context, run func(), reject func(error)) {
+	t := schedTask{ctx: ctx, enqueued: time.Now(), run: run, reject: reject}
+	select {
+	case s.queue <- t:
+		s.submitted.Add(1)
+		mSchedSubmitted.Inc()
+		gSchedQueued.Add(1)
+		s.ensureWorker()
+	default:
+		s.refuse(t, "scheduler queue full", nil)
+	}
+}
+
+// ensureWorker spawns a worker if the pool is below its cap. Spawning
+// after the enqueue (and under the same lock the exit path re-checks the
+// queue under) guarantees no task is left queued with zero workers.
+func (s *scheduler) ensureWorker() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.workers >= s.opts.MaxConcurrent {
+		return
+	}
+	s.workers++
+	go s.worker()
+}
+
+func (s *scheduler) worker() {
+	for {
+		select {
+		case t := <-s.queue:
+			gSchedQueued.Add(-1)
+			s.runTask(t)
+		default:
+			// Queue looks empty: re-check under the lock submit's
+			// ensureWorker takes, then exit. A task enqueued after this
+			// re-check sees the decremented worker count and spawns a
+			// replacement.
+			s.mu.Lock()
+			select {
+			case t := <-s.queue:
+				s.mu.Unlock()
+				gSchedQueued.Add(-1)
+				s.runTask(t)
+			default:
+				s.workers--
+				s.mu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// runTask executes one dequeued task, shedding it unrun if its wait
+// outlived the context deadline or the configured queue timeout.
+func (s *scheduler) runTask(t schedTask) {
+	wait := time.Since(t.enqueued)
+	hSchedWait.Observe(wait)
+	if err := t.ctx.Err(); err != nil {
+		s.refuse(t, "deadline expired while queued", err)
+		return
+	}
+	if s.opts.QueueTimeout > 0 && wait > s.opts.QueueTimeout {
+		s.refuse(t, "queue timeout", nil)
+		return
+	}
+	s.inflight.Add(1)
+	gSchedInflight.Add(1)
+	t.run()
+	gSchedInflight.Add(-1)
+	s.inflight.Add(-1)
+	s.completed.Add(1)
+	mSchedCompleted.Inc()
+}
+
+// refuse sheds a task, delivering the overload error off the caller's
+// goroutine so a blocking callback cannot stall submit or a worker.
+func (s *scheduler) refuse(t schedTask, reason string, cause error) {
+	s.shed.Add(1)
+	mSchedShed.Inc()
+	if t.reject != nil {
+		err := resilience.NewOverloadError(reason, s.opts.RetryAfter, cause)
+		go t.reject(err)
+	}
+}
+
+func (s *scheduler) stats() SchedulerStats {
+	return SchedulerStats{
+		InFlight:  int(s.inflight.Load()),
+		Queued:    len(s.queue),
+		Submitted: s.submitted.Load(),
+		Completed: s.completed.Load(),
+		Shed:      s.shed.Load(),
+	}
+}

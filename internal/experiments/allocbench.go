@@ -198,6 +198,7 @@ func AllocBenchTable(rs []AllocBenchResult) *Table {
 // outside.
 type AllocBenchFile struct {
 	Benchmarks []AllocBenchResult   `json:"benchmarks"`
+	Throughput []ThroughputResult   `json:"throughput,omitempty"`
 	Telemetry  *AllocBenchTelemetry `json:"telemetry,omitempty"`
 }
 
@@ -217,9 +218,10 @@ func CollectBenchTelemetry() *AllocBenchTelemetry {
 }
 
 // WriteAllocBenchJSON saves results as a baseline/trajectory file in the
-// wrapper form (benchmarks + telemetry). tel may be nil.
-func WriteAllocBenchJSON(path string, rs []AllocBenchResult, tel *AllocBenchTelemetry) error {
-	data, err := json.MarshalIndent(AllocBenchFile{Benchmarks: rs, Telemetry: tel}, "", "  ")
+// wrapper form (benchmarks + throughput + telemetry). thr and tel may be
+// nil — older baselines without throughput figures stay comparable.
+func WriteAllocBenchJSON(path string, rs []AllocBenchResult, thr []ThroughputResult, tel *AllocBenchTelemetry) error {
+	data, err := json.MarshalIndent(AllocBenchFile{Benchmarks: rs, Throughput: thr, Telemetry: tel}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -66,6 +66,17 @@ type OverloadError struct {
 	cause      error
 }
 
+// NewOverloadError builds an overload refusal with an optional wrapped
+// cause (a context error for expired queue waits). Shared by server-side
+// admission control and the client-side invocation scheduler, so both
+// shed with the same error shape.
+func NewOverloadError(reason string, retryAfter time.Duration, cause error) *OverloadError {
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	return &OverloadError{Reason: reason, RetryAfter: retryAfter, cause: cause}
+}
+
 // Error implements error.
 func (e *OverloadError) Error() string {
 	return fmt.Sprintf("resilience: server overloaded (%s), retry after %s", e.Reason, e.RetryAfter)

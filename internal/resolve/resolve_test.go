@@ -1,0 +1,449 @@
+package resolve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for TTL transitions.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// countingLookup returns a LookupFunc that counts invocations and serves
+// the current result/error.
+type countingLookup struct {
+	mu      sync.Mutex
+	calls   int
+	entries []Entry
+	err     error
+}
+
+func (l *countingLookup) fn(ctx context.Context) ([]Entry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.calls++
+	return l.entries, l.err
+}
+
+func (l *countingLookup) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.calls
+}
+
+func (l *countingLookup) set(entries []Entry, err error) {
+	l.mu.Lock()
+	l.entries, l.err = entries, err
+	l.mu.Unlock()
+}
+
+func entriesOf(endpoints ...string) []Entry {
+	out := make([]Entry, len(endpoints))
+	for i, ep := range endpoints {
+		out[i] = Entry{Endpoint: ep, Value: ep}
+	}
+	return out
+}
+
+func endpoints(es []Entry) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.Endpoint
+	}
+	return out
+}
+
+func TestFreshHitSkipsLookup(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Options{TTL: 10 * time.Second, Now: clk.Now})
+	l := &countingLookup{entries: entriesOf("http://a", "p2ps://b")}
+	ctx := context.Background()
+
+	for i := 0; i < 5; i++ {
+		got, err := c.Get(ctx, "k", l.fn)
+		if err != nil || len(got) != 2 {
+			t.Fatalf("get %d: %v %v", i, got, err)
+		}
+	}
+	if l.count() != 1 {
+		t.Fatalf("lookups = %d, want 1", l.count())
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 4 || s.Size != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestTTLExpiryReResolves(t *testing.T) {
+	clk := newFakeClock()
+	// StaleFor < 0 disables serve-stale so expiry forces a live lookup.
+	c := New(Options{TTL: 10 * time.Second, StaleFor: -1, Now: clk.Now})
+	l := &countingLookup{entries: entriesOf("http://a")}
+	ctx := context.Background()
+
+	if _, err := c.Get(ctx, "k", l.fn); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(11 * time.Second)
+	l.set(entriesOf("http://b"), nil)
+	got, err := c.Get(ctx, "k", l.fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.count() != 2 || got[0].Endpoint != "http://b" {
+		t.Fatalf("lookups = %d, got %v", l.count(), endpoints(got))
+	}
+}
+
+func TestStaleWhileRevalidate(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Options{TTL: 10 * time.Second, StaleFor: 10 * time.Second, Now: clk.Now})
+	refreshed := make(chan struct{})
+	var once sync.Once
+	var calls atomic.Int64
+	lookup := func(ctx context.Context) ([]Entry, error) {
+		if calls.Add(1) >= 2 {
+			defer once.Do(func() { close(refreshed) })
+			return entriesOf("http://new"), nil
+		}
+		return entriesOf("http://old"), nil
+	}
+	ctx := context.Background()
+
+	if _, err := c.Get(ctx, "k", lookup); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(15 * time.Second) // past TTL, within stale window
+
+	// The stale Get answers immediately with the old set...
+	got, err := c.Get(ctx, "k", lookup)
+	if err != nil || got[0].Endpoint != "http://old" {
+		t.Fatalf("stale get = %v, %v", endpoints(got), err)
+	}
+	// ...while one background refresh replaces the line.
+	select {
+	case <-refreshed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("background refresh never ran")
+	}
+	// The refresh stored asynchronously; poll briefly for the new line.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, err = c.Get(ctx, "k", lookup)
+		if err == nil && len(got) == 1 && got[0].Endpoint == "http://new" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("refreshed line never served: %v, %v", endpoints(got), err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s := c.Stats()
+	if s.Stale == 0 || s.Refreshes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFailedRefreshKeepsStaleLine(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Options{TTL: 10 * time.Second, StaleFor: 10 * time.Second, Now: clk.Now})
+	ran := make(chan struct{})
+	var once sync.Once
+	var calls atomic.Int64
+	lookup := func(ctx context.Context) ([]Entry, error) {
+		if calls.Add(1) > 1 {
+			defer once.Do(func() { close(ran) })
+			return nil, errors.New("registry down")
+		}
+		return entriesOf("http://a"), nil
+	}
+	ctx := context.Background()
+	if _, err := c.Get(ctx, "k", lookup); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(15 * time.Second)
+	if _, err := c.Get(ctx, "k", lookup); err != nil {
+		t.Fatal(err)
+	}
+	<-ran
+	// A failed refresh must not replace the known-good stale line.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		got, err := c.Get(ctx, "k", lookup)
+		if err != nil || len(got) != 1 || got[0].Endpoint != "http://a" {
+			t.Fatalf("stale line lost after failed refresh: %v, %v", endpoints(got), err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestNegativeCaching(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Options{TTL: 10 * time.Second, NegativeTTL: 2 * time.Second, Now: clk.Now})
+	boom := errors.New("nothing there")
+	l := &countingLookup{err: boom}
+	ctx := context.Background()
+
+	if _, err := c.Get(ctx, "k", l.fn); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Within the negative window the cached outcome is replayed.
+	if _, err := c.Get(ctx, "k", l.fn); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if l.count() != 1 {
+		t.Fatalf("lookups = %d, want 1", l.count())
+	}
+	// Past the window the locators are consulted again.
+	clk.Advance(3 * time.Second)
+	l.set(entriesOf("http://a"), nil)
+	got, err := c.Get(ctx, "k", l.fn)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("recovered get = %v, %v", endpoints(got), err)
+	}
+	if l.count() != 2 {
+		t.Fatalf("lookups = %d, want 2", l.count())
+	}
+	if s := c.Stats(); s.Negative != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEmptyResultIsNegative(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Options{TTL: 10 * time.Second, NegativeTTL: 2 * time.Second, Now: clk.Now})
+	l := &countingLookup{} // no entries, no error
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		got, err := c.Get(ctx, "k", l.fn)
+		if err != nil || len(got) != 0 {
+			t.Fatalf("get = %v, %v", got, err)
+		}
+	}
+	if l.count() != 1 {
+		t.Fatalf("lookups = %d, want 1", l.count())
+	}
+}
+
+func TestContextErrorsNotCached(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Options{TTL: 10 * time.Second, Now: clk.Now})
+	l := &countingLookup{err: context.Canceled}
+	ctx := context.Background()
+	if _, err := c.Get(ctx, "k", l.fn); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	l.set(entriesOf("http://a"), nil)
+	got, err := c.Get(ctx, "k", l.fn)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("get after cancellation = %v, %v", endpoints(got), err)
+	}
+	if l.count() != 2 {
+		t.Fatalf("cancellation was cached: lookups = %d", l.count())
+	}
+}
+
+func TestSingleflightCollapsesConcurrentMisses(t *testing.T) {
+	c := New(Options{})
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	lookup := func(ctx context.Context) ([]Entry, error) {
+		calls.Add(1)
+		<-gate
+		return entriesOf("http://a"), nil
+	}
+	ctx := context.Background()
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	lens := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := c.Get(ctx, "k", lookup)
+			errs[i], lens[i] = err, len(got)
+		}(i)
+	}
+	// Let the flock pile onto the single flight, then release it.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Collapsed < n-1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("lookups = %d, want 1", got)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil || lens[i] != 1 {
+			t.Fatalf("waiter %d: len=%d err=%v", i, lens[i], errs[i])
+		}
+	}
+}
+
+func TestEvictEndpoint(t *testing.T) {
+	c := New(Options{})
+	ctx := context.Background()
+	seed := func(key string, eps ...string) {
+		if _, err := c.Get(ctx, key, func(context.Context) ([]Entry, error) {
+			return entriesOf(eps...), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed("a", "http://x", "p2ps://y")
+	seed("b", "http://x")
+	seed("c", "http://z")
+
+	if n := c.EvictEndpoint("http://x"); n != 2 {
+		t.Fatalf("changed %d lines, want 2", n)
+	}
+	// Line a keeps its surviving endpoint; line b (emptied) is dropped.
+	got, _ := c.Get(ctx, "a", func(context.Context) ([]Entry, error) {
+		t.Fatal("line a should still be cached")
+		return nil, nil
+	})
+	if len(got) != 1 || got[0].Endpoint != "p2ps://y" {
+		t.Fatalf("line a = %v", endpoints(got))
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (b dropped)", c.Len())
+	}
+}
+
+func TestDemoteEndpoint(t *testing.T) {
+	c := New(Options{})
+	ctx := context.Background()
+	if _, err := c.Get(ctx, "k", func(context.Context) ([]Entry, error) {
+		return entriesOf("http://bad", "http://good", "p2ps://ok"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.DemoteEndpoint("http://bad"); n != 1 {
+		t.Fatalf("changed %d lines, want 1", n)
+	}
+	got, _ := c.Get(ctx, "k", nil)
+	want := []string{"http://good", "p2ps://ok", "http://bad"}
+	if fmt.Sprint(endpoints(got)) != fmt.Sprint(want) {
+		t.Fatalf("order = %v, want %v", endpoints(got), want)
+	}
+	// Demoting the only endpoint of a line is a no-op.
+	if _, err := c.Get(ctx, "solo", func(context.Context) ([]Entry, error) {
+		return entriesOf("http://one"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.DemoteEndpoint("http://one"); n != 0 {
+		t.Fatalf("solo line reordered: %d", n)
+	}
+}
+
+func TestInvalidateAndClear(t *testing.T) {
+	c := New(Options{})
+	ctx := context.Background()
+	l := &countingLookup{entries: entriesOf("http://a")}
+	c.Get(ctx, "k1", l.fn)
+	c.Get(ctx, "k2", l.fn)
+	c.Invalidate("k1")
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	c.Get(ctx, "k1", l.fn)
+	if l.count() != 3 {
+		t.Fatalf("lookups = %d, want 3", l.count())
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after clear", c.Len())
+	}
+}
+
+func TestMaxEntriesEvictsLRU(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Options{TTL: time.Hour, MaxEntries: 2, Now: clk.Now})
+	ctx := context.Background()
+	l := &countingLookup{entries: entriesOf("http://a")}
+	c.Get(ctx, "k1", l.fn)
+	clk.Advance(time.Second)
+	c.Get(ctx, "k2", l.fn)
+	clk.Advance(time.Second)
+	c.Get(ctx, "k1", l.fn) // touch k1: k2 is now the LRU line
+	clk.Advance(time.Second)
+	c.Get(ctx, "k3", l.fn) // over capacity: k2 evicted
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	before := l.count()
+	c.Get(ctx, "k1", l.fn) // still cached
+	if l.count() != before {
+		t.Fatal("k1 was evicted, want k2")
+	}
+	c.Get(ctx, "k2", l.fn) // evicted: re-resolves
+	if l.count() != before+1 {
+		t.Fatal("k2 survived eviction")
+	}
+}
+
+func TestGetCopiesEntries(t *testing.T) {
+	c := New(Options{})
+	ctx := context.Background()
+	got, err := c.Get(ctx, "k", func(context.Context) ([]Entry, error) {
+		return entriesOf("http://a", "http://b"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] = Entry{Endpoint: "mangled"}
+	again, _ := c.Get(ctx, "k", nil)
+	if again[0].Endpoint != "http://a" {
+		t.Fatal("caller mutation reached the cached line")
+	}
+}
+
+func TestConcurrentUseRaces(t *testing.T) {
+	c := New(Options{TTL: time.Millisecond, StaleFor: time.Millisecond, NegativeTTL: time.Millisecond})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%5)
+				switch i % 4 {
+				case 0, 1:
+					c.Get(ctx, key, func(context.Context) ([]Entry, error) {
+						return entriesOf("http://a", "http://b"), nil
+					})
+				case 2:
+					c.EvictEndpoint("http://a")
+				default:
+					c.DemoteEndpoint("http://b")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

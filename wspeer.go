@@ -64,6 +64,7 @@ import (
 	"wspeer/internal/p2ps"
 	"wspeer/internal/pipeline"
 	"wspeer/internal/resilience"
+	"wspeer/internal/resolve"
 	"wspeer/internal/soap"
 	"wspeer/internal/telemetry"
 	"wspeer/internal/transport"
@@ -282,6 +283,40 @@ func NewBreakerGroup(opts BreakerOptions) *BreakerGroup { return resilience.NewG
 func NewFaultInjector(seed int64, opts ...FaultInjectorOptions) *FaultInjector {
 	return resilience.NewInjector(seed, opts...)
 }
+
+// The resolution-and-scheduling layer (DESIGN.md §13): a per-client
+// discovery resolution cache that takes repeated Locate fan-outs off the
+// hot path (Client.LocateCached, Client.NewFailoverInvocationFor), and a
+// bounded invocation scheduler behind InvokeAsync and the scatter-gather
+// Client.InvokeMany.
+type (
+	// ResolutionCache memoizes query identity → located services with
+	// TTL, stale-while-revalidate refresh, negative caching and
+	// singleflight collapsing (Client.ResolutionCache).
+	ResolutionCache = resolve.Cache
+	// ResolutionCacheOptions tunes the cache (TTL, stale window,
+	// negative TTL, capacity); install with
+	// Client.ConfigureResolutionCache.
+	ResolutionCacheOptions = resolve.Options
+	// ResolutionCacheStats is a point-in-time cache counter snapshot.
+	ResolutionCacheStats = resolve.Stats
+	// QueryCacheKeyer lets a custom ServiceQuery define its own
+	// resolution-cache identity.
+	QueryCacheKeyer = core.CacheKeyer
+	// SchedulerOptions tunes the client's bounded invocation scheduler
+	// (concurrency cap, queue bound, queue timeout); install with
+	// Client.ConfigureScheduler.
+	SchedulerOptions = core.SchedulerOptions
+	// SchedulerStats is a point-in-time scheduler snapshot
+	// (Client.SchedulerStats).
+	SchedulerStats = core.SchedulerStats
+	// ManyResult is one endpoint's outcome within Client.InvokeMany.
+	ManyResult = core.ManyResult
+)
+
+// QueryKey canonicalizes a ServiceQuery into its resolution-cache
+// identity; queries with equal keys share a cache line.
+func QueryKey(q ServiceQuery) string { return core.QueryKey(q) }
 
 // Service definition and invocation payloads (messaging engine).
 type (
