@@ -45,17 +45,18 @@ bench-compare:
 bench-throughput:
 	$(GO) run ./cmd/benchharness -experiments A4
 
-# Regenerate every experiment table (E1-E10, A1-A4, R1).
+# Regenerate every experiment table (E1-E10, A1-A4, R1, R2).
 harness:
 	$(GO) run ./cmd/benchharness
 
-# The deterministic chaos suite (DESIGN.md §10): seeded fault injection on
-# a real HTTP invoke path with breaker+failover, resilience state-machine
-# tests, and server overload shedding — all under the race detector. The
-# seeds are fixed in the tests; every run reproduces the same fault
-# schedule bit for bit.
+# The deterministic chaos suite (DESIGN.md §10, §14): seeded fault
+# injection on a real HTTP invoke path with breaker+failover, resilience
+# state-machine tests, server overload shedding, retry-budget storms,
+# deadline propagation and hedged invocations — all under the race
+# detector. The seeds are fixed in the tests; every run reproduces the
+# same fault schedule bit for bit.
 chaos:
-	$(GO) test -race -count=1 -run 'Chaos|Overload|Breaker|Admission|Injector' . ./internal/resilience/ ./internal/httpd/
+	$(GO) test -race -count=1 -run 'Chaos|Overload|Breaker|Admission|Injector|Hedge|Budget|Deadline' . ./internal/resilience/ ./internal/httpd/ ./internal/core/ ./internal/pipeline/
 
 # Run every example program once.
 examples:

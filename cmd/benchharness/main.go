@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	which := flag.String("experiments", "all", "comma-separated experiment IDs (E1..E10, A1..A4, R1) or 'all'")
+	which := flag.String("experiments", "all", "comma-separated experiment IDs (E1..E10, A1..A4, R1, R2) or 'all'")
 	seed := flag.Int64("seed", 42, "deterministic seed for simulated experiments")
 	peersFlag := flag.String("peers", "32,128,512", "network sizes for E5 (comma-separated)")
 	queries := flag.Int("queries", 100, "queries per configuration for E5/E6")
@@ -44,6 +44,7 @@ func main() {
 		wanted["A3"] = true
 		wanted["A4"] = true
 		wanted["R1"] = true
+		wanted["R2"] = true
 	} else {
 		for _, id := range strings.Split(*which, ",") {
 			wanted[strings.ToUpper(strings.TrimSpace(id))] = true
@@ -125,6 +126,11 @@ func main() {
 		rows, err := experiments.RunResilienceSweep(*seed, 300, []float64{0, 0.1, 0.3})
 		check(err)
 		experiments.ResilienceTable(rows).Print(os.Stdout)
+	}
+	if wanted["R2"] {
+		rows, err := experiments.RunHedgeSweep(*seed, 200)
+		check(err)
+		experiments.HedgeTable(rows).Print(os.Stdout)
 	}
 	var throughput []experiments.ThroughputResult
 	if wanted["A4"] {

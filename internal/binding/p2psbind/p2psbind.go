@@ -335,7 +335,18 @@ func (b *Binding) handleRequest(ds *deployedService, data []byte) {
 		ContentType: soap.ContentType,
 		Body:        data,
 	}
-	resp, err := b.Engine().ServeRequest(context.Background(), ds.name, req)
+	// Adopt the caller's propagated deadline (the envelope-substrate twin
+	// of the HTTP X-Wspeer-Deadline header): the engine drops dispatches
+	// the caller has already abandoned instead of answering into the void.
+	ctx := context.Background()
+	if dlHdr := env.Header(xmlutil.N(transport.DeadlineNS, transport.DeadlineElement)); dlHdr != nil {
+		if dl, ok := transport.ParseDeadline(dlHdr.TrimmedText()); ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, dl)
+			defer cancel()
+		}
+	}
+	resp, err := b.Engine().ServeRequest(ctx, ds.name, req)
 	if err != nil {
 		f := soap.ServerFault(err)
 		if o, ok := resilience.AsOverload(err); ok {
@@ -731,6 +742,12 @@ func (i invoker) Invoke(ctx context.Context, svc *core.ServiceInfo, op string, p
 	hdr.ReplyTo = PipeToEPR(reply.Advertisement(), "")
 	if err := hdr.Apply(env); err != nil {
 		return nil, err
+	}
+	// Propagate the caller's deadline as a (non-mustUnderstand) SOAP
+	// header, the pipe substrate's equivalent of X-Wspeer-Deadline.
+	if dl, ok := ctx.Deadline(); ok {
+		env.AddHeader(xmlutil.NewElement(xmlutil.N(transport.DeadlineNS, transport.DeadlineElement)).
+			SetText(transport.FormatDeadline(dl)))
 	}
 
 	// Fig. 5 step 5: send the SOAP down the remote pipe.

@@ -95,10 +95,11 @@ type Client struct {
 
 	mu       sync.RWMutex
 	locators []ServiceLocator
-	invokers map[string]Invoker // by endpoint scheme
-	breakers *resilience.Group  // endpoint health registry
-	rcache   *resolve.Cache     // discovery resolution cache (LocateCached)
-	sched    *scheduler         // bounded pool behind InvokeAsync/InvokeMany
+	invokers map[string]Invoker      // by endpoint scheme
+	breakers *resilience.Group       // endpoint health registry
+	rcache   *resolve.Cache          // discovery resolution cache (LocateCached)
+	sched    *scheduler              // bounded pool behind InvokeAsync/InvokeMany
+	budget   *resilience.RetryBudget // retransmission budget shared by Retry/Hedge
 }
 
 // Use installs client-side pipeline interceptors (Deadline, Retry,
@@ -143,6 +144,41 @@ func (c *Client) Breakers() *resilience.Group {
 
 // Pipeline exposes the client-side interceptor chain.
 func (c *Client) Pipeline() *pipeline.Chain { return c.chain }
+
+// ConfigureRetryBudget installs a retransmission budget on the client and
+// returns it. Once installed, every invocation carries the budget on its
+// pipeline Meta (pipeline.MetaRetryBudget): installed Retry interceptors
+// draw a token per retransmission, Hedge draws one per hedge, and each
+// logical invocation that succeeds credits a fraction back — so across
+// the whole client, retries plus hedges are bounded to a fraction of the
+// success rate and cannot storm a struggling server.
+func (c *Client) ConfigureRetryBudget(opts resilience.BudgetOptions) *resilience.RetryBudget {
+	b := resilience.NewRetryBudget(opts)
+	c.mu.Lock()
+	c.budget = b
+	c.mu.Unlock()
+	return b
+}
+
+// RetryBudget returns the client's retransmission budget, nil when none
+// is configured.
+func (c *Client) RetryBudget() *resilience.RetryBudget {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.budget
+}
+
+// pipelineBudget adapts the configured budget to the pipeline interface,
+// returning a true nil (not a typed nil) when none is configured.
+func (c *Client) pipelineBudget() pipeline.RetryBudget {
+	c.mu.RLock()
+	b := c.budget
+	c.mu.RUnlock()
+	if b == nil {
+		return nil
+	}
+	return b
+}
 
 // AddLocator registers a locator. Multiple locators can coexist — e.g. a
 // P2PS peer using the UDDI locator alongside advert discovery (paper §IV:
@@ -338,6 +374,33 @@ func (c *Client) NewFailoverInvocation(svcs ...*ServiceInfo) (*Invocation, error
 	return inv, nil
 }
 
+// NewHedgedInvocation binds a hedged invocation to one or more located
+// endpoints for the same logical service: Invoke races a second attempt
+// against a slow primary after the hedge threshold (adaptive from the
+// service's observed p99 unless opts fixes it), sending the hedge to the
+// next endpoint when several are bound. First success wins; the losing
+// attempt is cancelled. Hedges draw from the client's retry budget when
+// one is configured (ConfigureRetryBudget), so hedging cannot multiply
+// load unboundedly.
+func (c *Client) NewHedgedInvocation(opts HedgeOptions, svcs ...*ServiceInfo) (*Invocation, error) {
+	if len(svcs) == 0 {
+		return nil, fmt.Errorf("core: hedged invocation needs at least one service")
+	}
+	inv := &Invocation{client: c, targets: make([]invTarget, 0, len(svcs))}
+	for _, svc := range svcs {
+		t, err := c.resolveTarget(svc)
+		if err != nil {
+			return nil, err
+		}
+		inv.targets = append(inv.targets, t)
+	}
+	if opts.MaxHedges < 1 {
+		opts.MaxHedges = 1
+	}
+	inv.hedge = &hedgePlan{threshold: opts.Threshold, maxHedges: opts.MaxHedges}
+	return inv, nil
+}
+
 // resolveTarget selects the invoker for a service's endpoint scheme.
 func (c *Client) resolveTarget(svc *ServiceInfo) (invTarget, error) {
 	if svc == nil || svc.Endpoint == "" {
@@ -359,12 +422,40 @@ type invTarget struct {
 	invoker Invoker
 }
 
+// DefaultHedgeThreshold is the hedge latency threshold used before the
+// telemetry call table has seen enough traffic to estimate the
+// service's tail.
+const DefaultHedgeThreshold = 50 * time.Millisecond
+
+// hedgeMinSamples is how many recorded client calls a service needs
+// before its observed p99 replaces DefaultHedgeThreshold.
+const hedgeMinSamples = 8
+
+// HedgeOptions tunes a hedged invocation (NewHedgedInvocation).
+type HedgeOptions struct {
+	// Threshold is how long the primary attempt may run before a hedge
+	// launches. Zero means adaptive: the service's observed client-side
+	// p99 latency from the telemetry call table once hedgeMinSamples
+	// calls have been recorded, DefaultHedgeThreshold until then.
+	Threshold time.Duration
+	// MaxHedges caps extra attempts beyond the primary (default 1, and
+	// never more than len(targets)-1 distinct endpoints are useful).
+	MaxHedges int
+}
+
+// hedgePlan is an Invocation's resolved hedging configuration.
+type hedgePlan struct {
+	threshold time.Duration // 0 = adaptive from telemetry
+	maxHedges int
+}
+
 // Invocation is a client-side handle on one located service, or — when
 // created with NewFailoverInvocation — on an ordered set of endpoints for
 // the same logical service.
 type Invocation struct {
 	client  *Client
 	targets []invTarget // preference order; [0] is the primary
+	hedge   *hedgePlan  // non-nil for hedged invocations
 }
 
 // Service returns the primary target service.
@@ -400,10 +491,17 @@ func (inv *Invocation) Invoke(ctx context.Context, op string, params ...engine.P
 	span.SetEndpoint(primary.svc.Endpoint)
 	c := &pipeline.Call{Ctx: ctx, Dir: pipeline.ClientCall, Service: primary.svc.Name, Op: op, Span: span}
 	c.SetMeta(resilience.MetaEndpoint, primary.svc.Endpoint)
+	budget := inv.client.pipelineBudget()
+	if budget != nil {
+		c.SetMeta(pipeline.MetaRetryBudget, budget)
+	}
 	var res *engine.Result
 	var err error
 	start := time.Now()
-	if len(inv.targets) == 1 {
+	if inv.hedge != nil {
+		err = inv.invokeHedged(c, op, params)
+		res, _ = c.GetMeta(MetaResult).(*engine.Result)
+	} else if len(inv.targets) == 1 {
 		err = inv.client.chain.Run(c, func(c *pipeline.Call) error {
 			res = nil // a retried attempt must not leak its predecessor's result
 			var err error
@@ -431,7 +529,74 @@ func (inv *Invocation) Invoke(ctx context.Context, op string, params ...engine.P
 	if err != nil {
 		return nil, err
 	}
+	if budget != nil {
+		budget.Credit() // one credit per successful logical invocation
+	}
 	return res, nil
+}
+
+// invokeHedged runs the invocation through the client chain with a Hedge
+// stage composed directly over the attempt terminal: a slow primary races
+// a hedge against the next endpoint of the resolution, first success
+// wins, and the loser is cancelled. Hedges draw from the client's retry
+// budget (when configured), so tail-chasing and retries spend from one
+// pool.
+func (inv *Invocation) invokeHedged(c *pipeline.Call, op string, params []engine.Param) error {
+	// Attempts record their own breaker outcomes; tell an installed Group
+	// interceptor to stand aside, as the failover walk does.
+	c.SetMeta(resilience.MetaBreakerHandled, true)
+	plan := *inv.hedge
+	hedge := pipeline.Hedge(pipeline.HedgeOptions{
+		Threshold: DefaultHedgeThreshold,
+		ThresholdFunc: func(pc *pipeline.Call) time.Duration {
+			if plan.threshold > 0 {
+				return plan.threshold
+			}
+			return adaptiveHedgeThreshold(pc.Service)
+		},
+		MaxHedges: plan.maxHedges,
+		// The caller opted into hedging when building the invocation, so
+		// every call through it may hedge — MarkIdempotent is not also
+		// required.
+		Hedgeable: func(*pipeline.Call) bool { return true },
+	})
+	terminal := pipeline.Compose(inv.hedgedAttempt(op, params), hedge)
+	return inv.client.chain.Run(c, terminal)
+}
+
+// hedgedAttempt is the per-attempt terminal of a hedged invocation:
+// attempt n targets the n-th endpoint (mod fan-out) of the resolution, so
+// a hedge lands on a different host than the primary it is racing. Each
+// attempt feeds its endpoint's breaker; an endpoint with an open breaker
+// refuses the attempt, which makes Hedge immediately try the next.
+func (inv *Invocation) hedgedAttempt(op string, params []engine.Param) pipeline.CallFunc {
+	return func(c *pipeline.Call) error {
+		group := inv.client.Breakers()
+		t := inv.targets[pipeline.HedgeAttempt(c)%len(inv.targets)]
+		br := group.Breaker(t.svc.Endpoint)
+		if !br.Allow() {
+			if c.Span != nil {
+				c.Span.Annotatef("hedge: skipped %s (breaker open)", t.svc.Endpoint)
+			}
+			return &resilience.BreakerOpenError{Endpoint: t.svc.Endpoint}
+		}
+		c.SetMeta(resilience.MetaEndpoint, t.svc.Endpoint)
+		res, err := invokeTarget(c, t, op, params)
+		resilience.Observe(br, err)
+		c.SetMeta(MetaResult, res)
+		return err
+	}
+}
+
+// adaptiveHedgeThreshold derives a hedge threshold from the service's
+// observed client-side tail latency: its p99 once enough calls have been
+// recorded, DefaultHedgeThreshold before that.
+func adaptiveHedgeThreshold(service string) time.Duration {
+	row := telemetry.Default().Calls.Service(service, telemetry.DirClient)
+	if row.Calls >= hedgeMinSamples && row.P99 > 0 {
+		return row.P99
+	}
+	return DefaultHedgeThreshold
 }
 
 // invokeTarget performs one attempt against one endpoint.

@@ -20,6 +20,12 @@ var (
 	mEngineRequests = telemetry.Default().Meter.Counter("engine.requests")
 	mEngineFaults   = telemetry.Default().Meter.Counter("engine.faults")
 	mEngineOneWay   = telemetry.Default().Meter.Counter("engine.oneway")
+
+	// Deadline-propagation instruments: dispatches that arrived with a
+	// caller deadline attached, and those dropped because that deadline
+	// had already passed when the request reached the engine.
+	mEngineDeadlineCarried = telemetry.Default().Meter.Counter("engine.deadline.carried")
+	mEngineDeadlineDropped = telemetry.Default().Meter.Counter("engine.deadline.dropped")
 )
 
 func nameInNS(ns, local string) xmlutil.Name { return xmlutil.N(ns, local) }
@@ -166,13 +172,28 @@ func (e *Engine) Handler(serviceName string) transport.Handler {
 // interceptor refusing the call — yields a Go error. One-way requests
 // produce an empty response.
 func (e *Engine) ServeRequest(ctx context.Context, serviceName string, req *transport.Request) (*transport.Response, error) {
+	// A caller deadline — propagated across the wire by the hosts, or
+	// native on the in-memory substrate — that has already passed means
+	// the caller is gone: drop the request before admission and dispatch
+	// spend anything on an answer nobody is waiting for.
+	if dl, ok := ctx.Deadline(); ok {
+		mEngineDeadlineCarried.Inc()
+		if !dl.After(time.Now()) {
+			mEngineDeadlineDropped.Inc()
+			return nil, fmt.Errorf("engine: dropped request for %q, caller deadline already expired: %w",
+				serviceName, context.DeadlineExceeded)
+		}
+	}
 	if a := e.admission.Load(); a != nil {
 		// Admission gates the whole dispatch — interceptors included — so
-		// a shed request costs nothing but the refusal.
-		if err := a.Acquire(ctx); err != nil {
+		// a shed request costs nothing but the refusal. The ticket feeds
+		// queue-wait and service-latency samples back to the controller,
+		// which the adaptive limiter steers by.
+		tk, err := a.Admit(ctx)
+		if err != nil {
 			return nil, err
 		}
-		defer a.Release()
+		defer tk.Done()
 	}
 	span, ctx := telemetry.Default().Tracer.StartSpan(ctx, "server.dispatch")
 	span.SetService(serviceName)

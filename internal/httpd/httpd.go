@@ -332,6 +332,14 @@ func (h *Host) handle(w http.ResponseWriter, r *http.Request) {
 	if sc, ok := telemetry.ParseTraceHeader(r.Header.Get(telemetry.TraceHeader)); ok {
 		ctx = telemetry.ContextWithSpanContext(ctx, sc)
 	}
+	// Adopt the caller's propagated deadline: the engine drops dispatches
+	// the caller has already abandoned, and a queued admission wait
+	// expires against the caller's budget instead of a local guess.
+	if dl, ok := transport.ParseDeadline(r.Header.Get(transport.DeadlineHeader)); ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, dl)
+		defer cancel()
+	}
 
 	var resp *transport.Response
 	handled := false
@@ -380,7 +388,25 @@ type debugSnapshot struct {
 	Telemetry telemetry.Snapshot `json:"telemetry"`
 	Engine    engine.Stats       `json:"engine"`
 	Admission any                `json:"admission,omitempty"`
+	Overload  overloadDebug      `json:"overload"`
 	Services  []string           `json:"services"`
+}
+
+// overloadDebug surfaces the cooperative overload-control state — the
+// adaptive admission limit, retry-budget balance, hedge traffic and
+// deadline drops — as one section of the debug document, so an operator
+// sees the whole control loop without correlating raw spine counters.
+type overloadDebug struct {
+	AdmissionLimit      int64 `json:"admission_limit"`
+	BudgetBalanceMilli  int64 `json:"budget_balance_milli"`
+	BudgetDraws         int64 `json:"budget_draws"`
+	BudgetDenied        int64 `json:"budget_denied"`
+	HedgesLaunched      int64 `json:"hedges_launched"`
+	HedgeWins           int64 `json:"hedge_wins"`
+	HedgesDenied        int64 `json:"hedges_denied"`
+	RetriesBudgetDenied int64 `json:"retries_budget_denied"`
+	DeadlinesCarried    int64 `json:"deadlines_carried"`
+	DeadlinesDropped    int64 `json:"deadlines_dropped"`
 }
 
 func (h *Host) handleDebug(w http.ResponseWriter, r *http.Request) {
@@ -396,8 +422,22 @@ func (h *Host) handleDebug(w http.ResponseWriter, r *http.Request) {
 		Engine:    h.eng.Stats(),
 		Services:  names,
 	}
+	snap.Overload = overloadDebug{
+		AdmissionLimit:      snap.Telemetry.Gauges["resilience.admission.limit"],
+		BudgetBalanceMilli:  snap.Telemetry.Gauges["resilience.budget.balance_milli"],
+		BudgetDraws:         snap.Telemetry.Counters["resilience.budget.draws"],
+		BudgetDenied:        snap.Telemetry.Counters["resilience.budget.denied"],
+		HedgesLaunched:      snap.Telemetry.Counters["pipeline.hedge.launched"],
+		HedgeWins:           snap.Telemetry.Counters["pipeline.hedge.wins"],
+		HedgesDenied:        snap.Telemetry.Counters["pipeline.hedge.denied"],
+		RetriesBudgetDenied: snap.Telemetry.Counters["pipeline.retry.budget_denied"],
+		DeadlinesCarried:    snap.Telemetry.Counters["engine.deadline.carried"],
+		DeadlinesDropped:    snap.Telemetry.Counters["engine.deadline.dropped"],
+	}
 	if a := h.eng.Admission(); a != nil {
-		snap.Admission = a.Stats()
+		stats := a.Stats()
+		snap.Admission = stats
+		snap.Overload.AdmissionLimit = int64(stats.Limit)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -16,7 +16,44 @@ var (
 	mRetryAttempts   = telemetry.Default().Meter.Counter("pipeline.retry.attempts")
 	mRetryRetries    = telemetry.Default().Meter.Counter("pipeline.retry.retries")
 	mRetryPreCancel  = telemetry.Default().Meter.Counter("pipeline.retry.precancelled")
+	mRetryBudgetDeny = telemetry.Default().Meter.Counter("pipeline.retry.budget_denied")
 )
+
+// RetryBudget is the retransmission token bucket Retry and Hedge draw
+// from. It is an interface here so the pipeline stays free of a
+// dependency on the resilience package; resilience.RetryBudget is the
+// stock implementation.
+type RetryBudget interface {
+	// TryDraw spends one token, reporting whether the retransmission may
+	// proceed.
+	TryDraw() bool
+	// Credit rewards one successful call with a fraction of a token.
+	Credit()
+}
+
+// RetryAfterHinter is implemented by errors that carry the server's
+// advertised backoff (resilience.OverloadError, the HTTP transport's
+// 503 status error). Retry floors its next delay on the hint so clients
+// honor the server's advice instead of hammering it on their own
+// schedule.
+type RetryAfterHinter interface {
+	RetryAfterHint() time.Duration
+}
+
+// MetaRetryBudget is the Meta key carrying the call's RetryBudget; core
+// sets it from the client's configured budget so every Retry/Hedge stage
+// in the chain spends from one pool.
+const MetaRetryBudget = "pipeline.retry.budget"
+
+// callBudget resolves the budget a stage should draw from: the
+// explicitly configured one, else the carrier's.
+func callBudget(c *Call, configured RetryBudget) RetryBudget {
+	if configured != nil {
+		return configured
+	}
+	b, _ := c.GetMeta(MetaRetryBudget).(RetryBudget)
+	return b
+}
 
 // MetaIdempotent is the Meta key that marks a call as safe to retry. The
 // stock Retry interceptor's default policy only retransmits calls carrying
@@ -88,6 +125,12 @@ type RetryOptions struct {
 	// calls flagged with MarkIdempotent — retransmitting a non-idempotent
 	// operation can execute it twice.
 	Retryable func(c *Call, err error) bool
+	// Budget, when set, gates every retransmission: a retry only proceeds
+	// if Budget.TryDraw() grants a token, and each overall success credits
+	// a fraction back. Nil falls back to the budget on the call's Meta
+	// (MetaRetryBudget, wired by core); with neither, retries are
+	// unbudgeted as before.
+	Budget RetryBudget
 	// sleep is a test seam; nil means a real timer honoring c.Ctx.
 	sleep func(ctx context.Context, d time.Duration) error
 }
@@ -152,6 +195,7 @@ func Retry(opts RetryOptions) Interceptor {
 					return err
 				}
 			}
+			budget := callBudget(c, opts.Budget)
 			delay := opts.BaseDelay
 			var err error
 			for attempt := 1; ; attempt++ {
@@ -159,7 +203,22 @@ func Retry(opts RetryOptions) Interceptor {
 				c.Err = nil
 				mRetryAttempts.Inc()
 				err = next(c)
-				if err == nil || attempt >= opts.Attempts || !opts.Retryable(c, err) {
+				if err == nil {
+					if opts.Budget != nil {
+						// An explicitly configured budget is owned by this
+						// stage, so successes credit here. A Meta-carried
+						// budget is credited once per logical call by the
+						// layer that installed it (core), not per stage.
+						opts.Budget.Credit()
+					}
+					return nil
+				}
+				if attempt >= opts.Attempts || !opts.Retryable(c, err) {
+					return err
+				}
+				if budget != nil && !budget.TryDraw() {
+					mRetryBudgetDeny.Inc()
+					c.Span.Annotate("retry: budget exhausted, not retransmitting")
 					return err
 				}
 				mRetryRetries.Inc()
@@ -169,6 +228,15 @@ func Retry(opts RetryOptions) Interceptor {
 				d := delay
 				if opts.Jitter > 0 {
 					d -= time.Duration(opts.Jitter * rand.Float64() * float64(delay))
+				}
+				// Honor a server-advertised backoff (Retry-After on a 503,
+				// an overload fault's retryAfterSeconds) as the floor: the
+				// server knows its queue better than our schedule does.
+				var hinter RetryAfterHinter
+				if errors.As(err, &hinter) {
+					if hint := hinter.RetryAfterHint(); hint > d {
+						d = hint
+					}
 				}
 				if serr := opts.sleep(c.Ctx, d); serr != nil {
 					return err // context gave out while backing off

@@ -93,6 +93,23 @@ func (c *Call) GetMeta(key string) interface{} {
 	return c.Meta[key]
 }
 
+// Clone returns an independent copy of the call running under ctx: the
+// scalar fields are copied, Meta is deep-copied so concurrent attempts
+// cannot race on each other's state, and the Span is shared (Span methods
+// are concurrency- and nil-safe). Hedge uses it to race attempts of one
+// logical call without aliasing the carrier.
+func (c *Call) Clone(ctx context.Context) *Call {
+	cp := *c
+	cp.Ctx = ctx
+	if c.Meta != nil {
+		cp.Meta = make(map[string]interface{}, len(c.Meta)+1)
+		for k, v := range c.Meta {
+			cp.Meta[k] = v
+		}
+	}
+	return &cp
+}
+
 // CallFunc is one stage of the pipeline: it advances the Call and reports
 // the outcome. The terminal CallFunc is the stage that actually moves
 // bytes (a transport on the client side, the engine on the server side).

@@ -1,0 +1,127 @@
+package resilience
+
+import (
+	"sync"
+
+	"wspeer/internal/telemetry"
+)
+
+// Spine instruments for retry budgets, process-wide across buckets.
+var (
+	mBudgetDraws   = telemetry.Default().Meter.Counter("resilience.budget.draws")
+	mBudgetDenied  = telemetry.Default().Meter.Counter("resilience.budget.denied")
+	mBudgetCredits = telemetry.Default().Meter.Counter("resilience.budget.credits")
+	gBudgetBalance = telemetry.Default().Meter.Gauge("resilience.budget.balance_milli")
+)
+
+// BudgetOptions tunes a retry budget.
+type BudgetOptions struct {
+	// Floor is the initial grant and the bucket's guaranteed minimum
+	// capacity in tokens (default 3): even a client with no recent
+	// successes can retry a few times, but never storm.
+	Floor float64
+	// Cap bounds the bucket (default 10).
+	Cap float64
+	// Ratio is the fraction of a token credited per successful call
+	// (default 0.1): sustained retry volume is limited to roughly
+	// Ratio × the success rate.
+	Ratio float64
+}
+
+func (o BudgetOptions) withDefaults() BudgetOptions {
+	if o.Floor <= 0 {
+		o.Floor = 3
+	}
+	if o.Cap <= 0 {
+		o.Cap = 10
+	}
+	if o.Cap < o.Floor {
+		o.Cap = o.Floor
+	}
+	if o.Ratio <= 0 {
+		o.Ratio = 0.1
+	}
+	return o
+}
+
+// BudgetStats is a point-in-time retry-budget snapshot.
+type BudgetStats struct {
+	// Balance is the current token balance.
+	Balance float64
+	// Draws counts granted retransmissions.
+	Draws int64
+	// Denied counts refused retransmissions.
+	Denied int64
+}
+
+// RetryBudget is a token bucket that bounds retransmissions to a
+// fraction of observed successes — the standard defence against retry
+// storms, where synchronized client retries multiply offered load on an
+// already-failing server. Each retry or hedge draws one token; each
+// success credits Ratio of one back, so sustained retry volume tracks
+// the success rate instead of the failure rate. The Floor keeps a small
+// reserve so cold clients can still recover from one-off blips.
+//
+// A RetryBudget is safe for concurrent use and is typically shared by
+// every interceptor chain of one client, so retries and hedges spend
+// from one pool.
+type RetryBudget struct {
+	opts BudgetOptions
+
+	mu     sync.Mutex
+	tokens float64
+	draws  int64
+	denied int64
+}
+
+// NewRetryBudget returns a budget holding its Floor of tokens.
+func NewRetryBudget(opts BudgetOptions) *RetryBudget {
+	o := opts.withDefaults()
+	return &RetryBudget{opts: o, tokens: o.Floor}
+}
+
+// TryDraw spends one token if at least one is available, reporting
+// whether the retransmission may proceed.
+func (b *RetryBudget) TryDraw() bool {
+	b.mu.Lock()
+	if b.tokens < 1 {
+		b.denied++
+		b.mu.Unlock()
+		mBudgetDenied.Inc()
+		return false
+	}
+	b.tokens--
+	b.draws++
+	bal := b.tokens
+	b.mu.Unlock()
+	mBudgetDraws.Inc()
+	gBudgetBalance.Set(int64(bal * 1000))
+	return true
+}
+
+// Credit rewards one successful call with Ratio of a token, up to Cap.
+func (b *RetryBudget) Credit() {
+	b.mu.Lock()
+	b.tokens += b.opts.Ratio
+	if b.tokens > b.opts.Cap {
+		b.tokens = b.opts.Cap
+	}
+	bal := b.tokens
+	b.mu.Unlock()
+	mBudgetCredits.Inc()
+	gBudgetBalance.Set(int64(bal * 1000))
+}
+
+// Balance returns the current token balance.
+func (b *RetryBudget) Balance() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Stats returns a point-in-time snapshot of the budget.
+func (b *RetryBudget) Stats() BudgetStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BudgetStats{Balance: b.tokens, Draws: b.draws, Denied: b.denied}
+}

@@ -1,0 +1,256 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRetryBudgetFloorAndDraws(t *testing.T) {
+	b := NewRetryBudget(BudgetOptions{Floor: 2, Cap: 5, Ratio: 0.5})
+	if got := b.Balance(); got != 2 {
+		t.Fatalf("initial balance = %v, want 2", got)
+	}
+	if !b.TryDraw() || !b.TryDraw() {
+		t.Fatalf("floor tokens should be drawable")
+	}
+	if b.TryDraw() {
+		t.Fatalf("empty budget granted a draw")
+	}
+	st := b.Stats()
+	if st.Draws != 2 || st.Denied != 1 {
+		t.Fatalf("stats = %+v, want 2 draws, 1 denied", st)
+	}
+}
+
+func TestRetryBudgetCreditsFractionUpToCap(t *testing.T) {
+	b := NewRetryBudget(BudgetOptions{Floor: 1, Cap: 2, Ratio: 0.5})
+	for i := 0; i < 10; i++ {
+		b.Credit()
+	}
+	if got := b.Balance(); got != 2 {
+		t.Fatalf("balance = %v, want capped at 2", got)
+	}
+	// Two whole tokens are spendable, a fractional remainder is not.
+	if !b.TryDraw() || !b.TryDraw() {
+		t.Fatalf("capped budget should grant 2 draws")
+	}
+	if b.TryDraw() {
+		t.Fatalf("draw granted with balance below 1")
+	}
+	b.Credit() // 0 + 0.5: still below one token
+	if b.TryDraw() {
+		t.Fatalf("draw granted with fractional balance")
+	}
+	b.Credit() // reaches 1.0
+	if !b.TryDraw() {
+		t.Fatalf("draw refused with a whole token available")
+	}
+}
+
+func TestRetryBudgetDefaults(t *testing.T) {
+	b := NewRetryBudget(BudgetOptions{})
+	if got := b.Balance(); got != 3 {
+		t.Fatalf("default floor = %v, want 3", got)
+	}
+}
+
+// drain empties the admission controller's adaptive window by completing
+// n dispatches with the given queue wait and service time.
+func feedAdmission(a *Admission, n int, wait, service time.Duration) {
+	for i := 0; i < n; i++ {
+		a.observe(wait, service)
+	}
+}
+
+func TestAdaptiveAdmissionHalvesUnderCongestion(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{
+		MaxConcurrent: 16,
+		Adaptive:      true,
+		MinConcurrent: 2,
+		AdjustEvery:   4,
+	})
+	if got := a.Stats().Limit; got != 16 {
+		t.Fatalf("initial limit = %d, want 16", got)
+	}
+	// Queue waits at 10× the service floor: congested, halve.
+	feedAdmission(a, 4, 10*time.Millisecond, time.Millisecond)
+	if got := a.Stats().Limit; got != 8 {
+		t.Fatalf("limit after congested window = %d, want 8", got)
+	}
+	feedAdmission(a, 4, 10*time.Millisecond, time.Millisecond)
+	feedAdmission(a, 4, 10*time.Millisecond, time.Millisecond)
+	feedAdmission(a, 4, 10*time.Millisecond, time.Millisecond)
+	if got := a.Stats().Limit; got != 2 {
+		t.Fatalf("limit should floor at MinConcurrent=2, got %d", got)
+	}
+}
+
+func TestAdaptiveAdmissionProbesUpWhenSaturated(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{
+		MaxConcurrent: 8,
+		MaxQueue:      4,
+		Adaptive:      true,
+		AdjustEvery:   2,
+	})
+	// Shrink to 4 first.
+	feedAdmission(a, 2, 10*time.Millisecond, time.Millisecond)
+	if got := a.Stats().Limit; got != 4 {
+		t.Fatalf("limit = %d, want 4", got)
+	}
+	// Saturate the shrunken limit (fill the usable share of the
+	// semaphore), then complete uncongested windows: additive increase.
+	ctx := context.Background()
+	tickets := make([]Ticket, 0, 4)
+	for i := 0; i < 4; i++ {
+		tk, err := a.Admit(ctx)
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		tickets = append(tickets, tk)
+	}
+	feedAdmission(a, 2, 0, time.Millisecond)
+	if got := a.Stats().Limit; got != 5 {
+		t.Fatalf("limit after uncongested saturated window = %d, want 5", got)
+	}
+	for _, tk := range tickets {
+		tk.Done()
+	}
+}
+
+func TestAdaptiveAdmissionEnforcesShrunkenLimit(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{
+		MaxConcurrent: 8,
+		Adaptive:      true,
+		AdjustEvery:   2,
+	})
+	feedAdmission(a, 2, 10*time.Millisecond, time.Millisecond) // limit 8 → 4
+	ctx := context.Background()
+	var tickets []Ticket
+	for i := 0; i < 4; i++ {
+		tk, err := a.Admit(ctx)
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		tickets = append(tickets, tk)
+	}
+	// The 5th admit must shed: only 4 of the 8 slots are usable.
+	if _, err := a.Admit(ctx); err == nil {
+		t.Fatalf("admit beyond shrunken limit succeeded")
+	} else if _, ok := AsOverload(err); !ok {
+		t.Fatalf("refusal is %T, want *OverloadError", err)
+	}
+	st := a.Stats()
+	if st.InFlight != 4 || st.Limit != 4 {
+		t.Fatalf("stats = %+v, want InFlight=4 Limit=4", st)
+	}
+	for _, tk := range tickets {
+		tk.Done()
+	}
+	if got := a.Stats().InFlight; got != 0 {
+		t.Fatalf("in-flight after releases = %d, want 0", got)
+	}
+}
+
+func TestAdaptiveAdmissionPaysDebtOnRelease(t *testing.T) {
+	// AdjustEvery of 4 keeps the ticket releases below (which feed their
+	// own samples) from closing another adjustment window mid-test.
+	a := NewAdmission(AdmissionOptions{
+		MaxConcurrent: 4,
+		Adaptive:      true,
+		AdjustEvery:   4,
+	})
+	ctx := context.Background()
+	// Fill every slot, then shrink: the limiter cannot park fillers in a
+	// full semaphore, so the shrink becomes debt paid by releases.
+	var tickets []Ticket
+	for i := 0; i < 4; i++ {
+		tk, err := a.Admit(ctx)
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		tickets = append(tickets, tk)
+	}
+	feedAdmission(a, 4, 10*time.Millisecond, time.Millisecond) // limit 4 → 2
+	if got := a.Stats().Limit; got != 2 {
+		t.Fatalf("limit = %d, want 2", got)
+	}
+	// Two releases pay the debt instead of freeing slots...
+	tickets[0].Done()
+	tickets[1].Done()
+	if _, err := a.Admit(ctx); err == nil {
+		t.Fatalf("admit succeeded while releases were paying shrink debt")
+	}
+	// ...after which a third release frees a real slot.
+	tickets[2].Done()
+	tk, err := a.Admit(ctx)
+	if err != nil {
+		t.Fatalf("admit after debt paid: %v", err)
+	}
+	tk.Done()
+	tickets[3].Done()
+}
+
+func TestAdmissionRetryAfterDerivedFromQueueState(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxConcurrent: 1, MaxQueue: 0, RetryAfter: 7 * time.Second})
+	ctx := context.Background()
+
+	// Before any completion the configured constant is advertised.
+	tk, err := a.Admit(ctx)
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	_, err = a.Admit(ctx)
+	o, ok := AsOverload(err)
+	if !ok {
+		t.Fatalf("expected overload, got %v", err)
+	}
+	if o.RetryAfter != 7*time.Second {
+		t.Fatalf("pre-observation RetryAfter = %v, want the configured 7s", o.RetryAfter)
+	}
+	tk.Done()
+
+	// Seed the service-time estimate, then shed again: the hint now comes
+	// from the observed latency, far below the configured constant.
+	feedAdmission(a, 8, 0, 5*time.Millisecond)
+	tk, err = a.Admit(ctx)
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	defer tk.Done()
+	_, err = a.Admit(ctx)
+	o, ok = AsOverload(err)
+	if !ok {
+		t.Fatalf("expected overload, got %v", err)
+	}
+	if o.RetryAfter >= time.Second || o.RetryAfter <= 0 {
+		t.Fatalf("post-observation RetryAfter = %v, want a sub-second queue-derived hint", o.RetryAfter)
+	}
+	if o.RetryAfterSeconds() != 1 {
+		t.Fatalf("RetryAfterSeconds = %d, want rounded up to 1", o.RetryAfterSeconds())
+	}
+}
+
+func TestAdmissionDrainAdoptsFillers(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{
+		MaxConcurrent: 4,
+		Adaptive:      true,
+		AdjustEvery:   2,
+	})
+	feedAdmission(a, 2, 10*time.Millisecond, time.Millisecond) // limit 4 → 2, fillers parked
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := a.Drain(ctx); err != nil {
+		t.Fatalf("drain with only fillers held: %v", err)
+	}
+	if _, err := a.Admit(context.Background()); err == nil {
+		t.Fatalf("admit succeeded on a draining controller")
+	}
+}
+
+func TestOverloadErrorRetryAfterHint(t *testing.T) {
+	e := NewOverloadError("queue full", 3*time.Second, nil)
+	if got := e.RetryAfterHint(); got != 3*time.Second {
+		t.Fatalf("hint = %v, want 3s", got)
+	}
+}

@@ -1,0 +1,58 @@
+package transport
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Deadline propagation (DESIGN.md §14). A client invocation whose context
+// carries a deadline stamps it on the wire — as an HTTP header on the
+// HTTP-family transports, as a (non-mustUnderstand) SOAP header element on
+// envelope-substrate bindings like P2PS, and natively through the shared
+// context on the in-memory transport. Server hosts parse it back into the
+// dispatch context, so the engine can drop work the caller has already
+// given up on and the admission queue expires entries against the
+// *caller's* deadline rather than a local guess.
+//
+// The wire format is the absolute deadline in microseconds since the Unix
+// epoch, in decimal. An absolute instant (rather than a relative budget)
+// survives multi-hop forwarding without each hop re-subtracting its local
+// processing time; microsecond resolution matches the precision of the
+// latency spine.
+
+// DeadlineHeader is the HTTP request header carrying the caller's absolute
+// deadline (microseconds since the Unix epoch, decimal), alongside the
+// trace context in telemetry.TraceHeader.
+const DeadlineHeader = "X-Wspeer-Deadline"
+
+// DeadlineNS is the namespace of the SOAP header element that carries the
+// deadline on envelope-substrate bindings (P2PS), where there is no HTTP
+// header to ride on. The element is never flagged mustUnderstand: a
+// provider that predates deadline propagation simply ignores it.
+const DeadlineNS = "http://wspeer.dev/deadline"
+
+// DeadlineElement is the local name of the SOAP deadline header element;
+// its text content is FormatDeadline's form.
+const DeadlineElement = "Deadline"
+
+// FormatDeadline renders an absolute deadline for the wire.
+func FormatDeadline(t time.Time) string {
+	return strconv.FormatInt(t.UnixMicro(), 10)
+}
+
+// ParseDeadline parses a wire-format deadline. It reports false for an
+// empty, malformed or non-positive value — the caller simply proceeds
+// without a propagated deadline, so garbage on the header can never turn
+// into a rejected request.
+func ParseDeadline(s string) (time.Time, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return time.Time{}, false
+	}
+	us, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || us <= 0 {
+		return time.Time{}, false
+	}
+	return time.UnixMicro(us), true
+}

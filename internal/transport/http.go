@@ -10,6 +10,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -125,6 +126,11 @@ func (t *HTTPTransport) post(ctx context.Context, url string, req *Request, deco
 	if sc, ok := telemetry.SpanContextFromContext(ctx); ok {
 		hr.Header.Set(telemetry.TraceHeader, telemetry.FormatTraceHeader(sc))
 	}
+	// Propagate the caller's deadline so the server can drop work the
+	// caller has already abandoned (see deadline.go).
+	if dl, ok := ctx.Deadline(); ok {
+		hr.Header.Set(DeadlineHeader, FormatDeadline(dl))
+	}
 	if decorate != nil {
 		decorate(hr)
 	}
@@ -155,8 +161,56 @@ func (t *HTTPTransport) post(ctx context.Context, url string, req *Request, deco
 		return &Response{ContentType: resp.Header.Get("Content-Type"), Body: body, Faulted: true}, nil
 	default:
 		mHTTPErrors.Inc()
-		return nil, fmt.Errorf("transport/http: POST %s: unexpected status %s", url, resp.Status)
+		return nil, &StatusError{
+			URL:        url,
+			Code:       resp.StatusCode,
+			Status:     resp.Status,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
+}
+
+// StatusError is an HTTP exchange that completed with a status the SOAP
+// binding has no mapping for — most importantly 503 Service Unavailable
+// from an overloaded host. When the response carried a Retry-After header
+// its value is preserved, and RetryAfterHint surfaces it to backoff logic
+// (pipeline.Retry floors its next delay on it).
+type StatusError struct {
+	// URL is the POSTed endpoint.
+	URL string
+	// Code is the HTTP status code.
+	Code int
+	// Status is the full status line ("503 Service Unavailable").
+	Status string
+	// RetryAfter is the server-advertised backoff (0 when absent).
+	RetryAfter time.Duration
+}
+
+// Error implements error, keeping the historical "unexpected status"
+// message shape.
+func (e *StatusError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("transport/http: POST %s: unexpected status %s (retry after %s)", e.URL, e.Status, e.RetryAfter)
+	}
+	return fmt.Sprintf("transport/http: POST %s: unexpected status %s", e.URL, e.Status)
+}
+
+// RetryAfterHint returns the server-advertised backoff, satisfying the
+// pipeline's RetryAfterHinter without a package dependency.
+func (e *StatusError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
+// parseRetryAfter reads a Retry-After header's delay-seconds form (the
+// form WSPeer hosts emit). The HTTP-date form is ignored.
+func parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 func looksLikeXML(b []byte) bool {

@@ -58,7 +58,10 @@ type inMemTransport InMemNetwork
 // Scheme implements Transport.
 func (t *inMemTransport) Scheme() string { return "mem" }
 
-// Call implements Transport.
+// Call implements Transport. The caller's context — deadline included —
+// reaches the handler directly, so the in-memory substrate propagates
+// deadlines natively with no wire encoding (the wire transports carry
+// DeadlineHeader / the SOAP deadline header instead).
 func (t *inMemTransport) Call(ctx context.Context, req *Request) (*Response, error) {
 	n := (*InMemNetwork)(t)
 	key := strings.TrimPrefix(req.Endpoint, "mem://")

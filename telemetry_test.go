@@ -248,10 +248,22 @@ func TestDebugEndpoint(t *testing.T) {
 		Engine    struct {
 			Requests int64 `json:"Requests"`
 		} `json:"engine"`
-		Services []string `json:"services"`
+		Overload map[string]int64 `json:"overload"`
+		Services []string         `json:"services"`
 	}
 	if err := json.Unmarshal(body, &doc); err != nil {
 		t.Fatalf("debug endpoint is not JSON: %v\n%s", err, body)
+	}
+	// The overload-control section surfaces the adaptive admission limit,
+	// retry-budget state and hedge counters as one document.
+	for _, key := range []string{
+		"admission_limit", "budget_balance_milli", "budget_draws", "budget_denied",
+		"hedges_launched", "hedge_wins", "hedges_denied",
+		"retries_budget_denied", "deadlines_carried", "deadlines_dropped",
+	} {
+		if _, ok := doc.Overload[key]; !ok {
+			t.Fatalf("overload section missing %q: %s", key, body)
+		}
 	}
 	if doc.Engine.Requests < 1 {
 		t.Fatalf("engine.Requests = %d, want >= 1", doc.Engine.Requests)

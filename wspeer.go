@@ -8,6 +8,7 @@
 //
 //   - the standard binding (NewHTTPBinding): container-less HTTP hosting,
 //     UDDI-style registry publication and discovery, HTTP/HTTPG invocation;
+//
 //   - the P2PS binding (NewP2PSBinding): services exposed as unidirectional
 //     pipes on a peer-to-peer overlay, advertised with XML adverts carrying
 //     a WSDL "definition pipe", discovered by in-network queries, and made
@@ -256,6 +257,21 @@ type (
 	FaultInjectorOptions = resilience.InjectorOptions
 	// FaultPlan describes the faults to inject for matching endpoints.
 	FaultPlan = resilience.FaultPlan
+	// RetryBudget is a client-wide retransmission token bucket shared by
+	// Retry and Hedge (DESIGN.md §14): retries and hedges spend tokens,
+	// successes credit a fraction back, so retransmission volume tracks
+	// the success rate and cannot storm a failing server.
+	RetryBudget = resilience.RetryBudget
+	// RetryBudgetOptions tunes a RetryBudget (floor, cap, credit ratio).
+	RetryBudgetOptions = resilience.BudgetOptions
+	// RetryBudgetStats is a point-in-time budget snapshot.
+	RetryBudgetStats = resilience.BudgetStats
+	// HedgeOptions tunes the Hedge interceptor (threshold, fan-out,
+	// budget).
+	HedgeOptions = pipeline.HedgeOptions
+	// InvocationHedgeOptions tunes a hedged invocation built with
+	// Client.NewHedgedInvocation / NewHedgedInvocationFor.
+	InvocationHedgeOptions = core.HedgeOptions
 )
 
 // Circuit breaker states.
@@ -283,6 +299,20 @@ func NewBreakerGroup(opts BreakerOptions) *BreakerGroup { return resilience.NewG
 func NewFaultInjector(seed int64, opts ...FaultInjectorOptions) *FaultInjector {
 	return resilience.NewInjector(seed, opts...)
 }
+
+// NewRetryBudget returns a standalone retransmission budget; the
+// per-client budget is installed with Client.ConfigureRetryBudget.
+func NewRetryBudget(opts RetryBudgetOptions) *RetryBudget { return resilience.NewRetryBudget(opts) }
+
+// Hedge returns an interceptor that races a second attempt against a slow
+// primary, first success wins; see pipeline.Hedge for the semantics and
+// Client.NewHedgedInvocation for the endpoint-aware form.
+func Hedge(opts HedgeOptions) CallInterceptor { return pipeline.Hedge(opts) }
+
+// DeadlineHeader is the HTTP header carrying the caller's absolute
+// deadline (microseconds since the Unix epoch) across the wire, so a
+// saturated server can drop requests whose caller has already given up.
+const DeadlineHeader = transport.DeadlineHeader
 
 // The resolution-and-scheduling layer (DESIGN.md §13): a per-client
 // discovery resolution cache that takes repeated Locate fan-outs off the
