@@ -56,7 +56,7 @@ harness:
 # detector. The seeds are fixed in the tests; every run reproduces the
 # same fault schedule bit for bit.
 chaos:
-	$(GO) test -race -count=1 -run 'Chaos|Overload|Breaker|Admission|Injector|Hedge|Budget|Deadline' . ./internal/resilience/ ./internal/httpd/ ./internal/core/ ./internal/pipeline/
+	$(GO) test -race -count=1 -run 'Chaos|Overload|Breaker|Admission|Injector|Hedge|Budget|Deadline|Exchange|Callback|OneWay|Table|Future' . ./internal/resilience/ ./internal/httpd/ ./internal/core/ ./internal/pipeline/ ./internal/exchange/
 
 # Run every example program once.
 examples:

@@ -1,5 +1,5 @@
 // Command benchharness regenerates every experiment indexed in DESIGN.md
-// (E1-E10): the measured reproductions of the WSPeer paper's process
+// (E1-E10, E13): the measured reproductions of the WSPeer paper's process
 // figures and qualitative performance claims. Run everything:
 //
 //	benchharness
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	which := flag.String("experiments", "all", "comma-separated experiment IDs (E1..E10, A1..A4, R1, R2) or 'all'")
+	which := flag.String("experiments", "all", "comma-separated experiment IDs (E1..E10, E13, A1..A4, R1, R2) or 'all'")
 	seed := flag.Int64("seed", 42, "deterministic seed for simulated experiments")
 	peersFlag := flag.String("peers", "32,128,512", "network sizes for E5 (comma-separated)")
 	queries := flag.Int("queries", 100, "queries per configuration for E5/E6")
@@ -39,6 +39,7 @@ func main() {
 		for i := 1; i <= 10; i++ {
 			wanted[fmt.Sprintf("E%d", i)] = true
 		}
+		wanted["E13"] = true
 		wanted["A1"] = true
 		wanted["A2"] = true
 		wanted["A3"] = true
@@ -138,6 +139,12 @@ func main() {
 		check(err)
 		experiments.ThroughputTable(rs).Print(os.Stdout)
 		throughput = rs
+	}
+	if wanted["E13"] {
+		rs, err := experiments.RunExchangePatterns()
+		check(err)
+		experiments.ExchangePatternsTable(rs).Print(os.Stdout)
+		throughput = append(throughput, rs...)
 	}
 	if wanted["A3"] || *benchJSON != "" || *benchCompare != "" {
 		rs, err := experiments.RunAllocBenches()

@@ -1,0 +1,89 @@
+package binding
+
+import (
+	"context"
+
+	"wspeer/internal/core"
+	"wspeer/internal/engine"
+	"wspeer/internal/exchange"
+	"wspeer/internal/pipeline"
+	"wspeer/internal/soap"
+	"wspeer/internal/transport"
+	"wspeer/internal/wsaddr"
+)
+
+// ExchangeHeaders reads the WS-Addressing headers the exchange layer
+// stashed on a pipeline carrier, nil when the call is a plain synchronous
+// invocation (the fast path: one map lookup, no allocation).
+func ExchangeHeaders(c *pipeline.Call) *wsaddr.MessageHeaders {
+	hdr, _ := c.GetMeta(exchange.MetaHeaders).(*wsaddr.MessageHeaders)
+	return hdr
+}
+
+// InvokeExchange carries one exchange-layer invocation over a transport
+// registry: the request envelope is stamped with the caller's
+// WS-Addressing headers (To/Action filled in from the resolved endpoint)
+// and sent according to the exchange pattern on the carrier — one-way and
+// callback sends return after the transport-level ack with no reply
+// decoded, request/response round-trips on the back channel as usual.
+// Registry-backed invokers (HTTP, in-memory) share this path; the P2PS
+// binding has its own pipe-level equivalent.
+func InvokeExchange(c *pipeline.Call, reg *transport.Registry, svc *core.ServiceInfo, op string, params []engine.Param, hdr *wsaddr.MessageHeaders) (*engine.Result, error) {
+	stub := engine.NewStub(svc.Definitions, reg)
+	env, det, err := stub.PrepareEnvelope(op, params...)
+	if err != nil {
+		return nil, err
+	}
+	endpoint := det.Address
+	if svc.Endpoint != "" {
+		endpoint = svc.Endpoint
+	}
+	// Copy the headers: hedged or retried attempts share one Meta value and
+	// must not see each other's To/Action.
+	h := *hdr
+	h.To = endpoint
+	h.Action = det.SOAPAction
+	if h.MessageID == "" {
+		h.MessageID = wsaddr.NewMessageID()
+	}
+	if err := h.Apply(env); err != nil {
+		return nil, err
+	}
+	req := &transport.Request{
+		Endpoint:    endpoint,
+		Action:      det.SOAPAction,
+		ContentType: soap.ContentType,
+		Body:        env.Marshal(),
+	}
+	c.Request = req
+	if p, _ := c.GetMeta(exchange.MetaPattern).(exchange.Pattern); p == exchange.OneWay || p == exchange.Callback {
+		if err := reg.Post(c.Ctx, req); err != nil {
+			return nil, err
+		}
+		c.Response = &transport.Response{}
+		return nil, nil
+	}
+	resp, err := reg.Call(c.Ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	c.Response = resp
+	if det.Operation.OneWay() {
+		return nil, nil
+	}
+	return engine.DecodeResponse(resp.Body, det)
+}
+
+// PostReplySender adapts a transport registry to engine.ReplySender:
+// decoupled replies are delivered by posting the flattened message to the
+// reply EPR's address over the scheme-selected transport.
+func PostReplySender(reg *transport.Registry) engine.ReplySender {
+	return engine.ReplySenderFunc(func(ctx context.Context, to *wsaddr.EndpointReference, msg *exchange.Message) error {
+		return reg.Post(ctx, &transport.Request{
+			Endpoint:    msg.Endpoint,
+			Action:      msg.Action,
+			ContentType: msg.ContentType,
+			Body:        msg.Body,
+		})
+	})
+}

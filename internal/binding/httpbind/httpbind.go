@@ -24,6 +24,7 @@ import (
 	"wspeer/internal/resilience"
 	"wspeer/internal/transport"
 	"wspeer/internal/uddi"
+	"wspeer/internal/wsaddr"
 	"wspeer/internal/wsdl"
 )
 
@@ -105,7 +106,23 @@ func New(opts Options) (*Binding, error) {
 		comps.Locators = []core.ServiceLocator{b.Locator()}
 	}
 	b.Base = binding.NewBase("http", []string{"http", "httpg", "mem"}, opts.Engine, comps)
+	// The engine can deliver decoupled replies (non-anonymous wsa:ReplyTo)
+	// to any endpoint this binding's registry can reach. Cross-substrate
+	// replies (an HTTP request with a P2PS ReplyTo) need the other
+	// binding's sender registered too — see Engine.RegisterReplySender.
+	sender := b.ReplySender()
+	for _, scheme := range []string{"http", "httpg", "mem"} {
+		opts.Engine.RegisterReplySender(scheme, sender)
+	}
 	return b, nil
+}
+
+// ReplySender delivers decoupled replies by POSTing them over the
+// binding's transport registry. It is registered on the binding's own
+// engine at construction; register it on another binding's engine to let
+// that substrate answer requests whose ReplyTo is an HTTP(G) endpoint.
+func (b *Binding) ReplySender() engine.ReplySender {
+	return binding.PostReplySender(b.reg)
 }
 
 // Host exposes the underlying container-less host (for interceptors).
@@ -420,6 +437,9 @@ func (i invoker) InvokeCall(c *pipeline.Call, svc *core.ServiceInfo, op string, 
 	if svc.Definitions == nil {
 		return nil, fmt.Errorf("httpbind: service %q has no definitions", svc.Name)
 	}
+	if hdr := binding.ExchangeHeaders(c); hdr != nil {
+		return binding.InvokeExchange(c, i.b.reg, svc, op, params, hdr)
+	}
 	stub := engine.NewStub(svc.Definitions, i.b.reg)
 	stub.EndpointOverride = svc.Endpoint
 	req, det, err := stub.BuildRequest(op, params...)
@@ -436,4 +456,29 @@ func (i invoker) InvokeCall(c *pipeline.Call, svc *core.ServiceInfo, op string, 
 		return nil, nil
 	}
 	return engine.DecodeResponse(resp.Body, det)
+}
+
+// httpReplyEndpoint is a hosted callback route on the binding's HTTP host.
+type httpReplyEndpoint struct {
+	epr    *wsaddr.EndpointReference
+	cancel func()
+}
+
+// EPR implements core.ReplyEndpoint.
+func (e *httpReplyEndpoint) EPR() *wsaddr.EndpointReference { return e.epr }
+
+// Close implements core.ReplyEndpoint.
+func (e *httpReplyEndpoint) Close() error { e.cancel(); return nil }
+
+// HostReplyEndpoint implements core.CallbackHoster: the client-side reply
+// endpoint is a callback route on the binding's container-less HTTP host,
+// which launches its lazy listener if no deployment already has — so a
+// pure consumer becomes addressable the moment it first invokes with the
+// callback pattern.
+func (i invoker) HostReplyEndpoint(deliver func(body []byte)) (core.ReplyEndpoint, error) {
+	url, cancel, err := i.b.host.HostCallback(deliver)
+	if err != nil {
+		return nil, err
+	}
+	return &httpReplyEndpoint{epr: wsaddr.NewEndpointReference(url), cancel: cancel}, nil
 }

@@ -20,6 +20,7 @@ import (
 	"wspeer/internal/resilience"
 	"wspeer/internal/soap"
 	"wspeer/internal/transport"
+	"wspeer/internal/wsaddr"
 	"wspeer/internal/wsdl"
 )
 
@@ -41,6 +42,9 @@ type Options struct {
 
 // hostSeq generates distinct default host names within the process.
 var hostSeq atomic.Int64
+
+// callbackSeq generates distinct reply-endpoint paths within the process.
+var callbackSeq atomic.Int64
 
 // Binding bundles the in-memory implementation's components. The generic
 // attach/detach choreography and event forwarding come from the embedded
@@ -91,7 +95,18 @@ func New(opts Options) (*Binding, error) {
 		Locators:   []core.ServiceLocator{b.Locator()},
 		Invokers:   []core.Invoker{b.Invoker()},
 	})
+	// Decoupled replies to mem:// reply endpoints go back out through the
+	// same network; other schemes need their binding's sender registered on
+	// this engine (see Engine.RegisterReplySender).
+	opts.Engine.RegisterReplySender("mem", b.ReplySender())
 	return b, nil
+}
+
+// ReplySender delivers decoupled replies over the binding's in-memory
+// network. Register it on another binding's engine to let that substrate
+// answer requests whose ReplyTo is a mem:// endpoint.
+func (b *Binding) ReplySender() engine.ReplySender {
+	return binding.PostReplySender(b.reg)
 }
 
 // Network exposes the in-memory network the binding serves on.
@@ -325,6 +340,9 @@ func (i invoker) InvokeCall(c *pipeline.Call, svc *core.ServiceInfo, op string, 
 	if svc.Definitions == nil {
 		return nil, fmt.Errorf("inmembind: service %q has no definitions", svc.Name)
 	}
+	if hdr := binding.ExchangeHeaders(c); hdr != nil {
+		return binding.InvokeExchange(c, i.b.reg, svc, op, params, hdr)
+	}
 	stub := engine.NewStub(svc.Definitions, i.b.reg)
 	stub.EndpointOverride = svc.Endpoint
 	req, det, err := stub.BuildRequest(op, params...)
@@ -341,4 +359,37 @@ func (i invoker) InvokeCall(c *pipeline.Call, svc *core.ServiceInfo, op string, 
 		return nil, nil
 	}
 	return engine.DecodeResponse(resp.Body, det)
+}
+
+// memReplyEndpoint is a reply handler registered on the in-memory network.
+type memReplyEndpoint struct {
+	epr   *wsaddr.EndpointReference
+	net   *transport.InMemNetwork
+	where string
+}
+
+// EPR implements core.ReplyEndpoint.
+func (e *memReplyEndpoint) EPR() *wsaddr.EndpointReference { return e.epr }
+
+// Close implements core.ReplyEndpoint.
+func (e *memReplyEndpoint) Close() error {
+	e.net.Unregister(e.where)
+	return nil
+}
+
+// HostReplyEndpoint implements core.CallbackHoster: the reply endpoint is
+// a fresh mem:// handler on the binding's network that feeds each inbound
+// body to deliver and acknowledges with an empty response.
+func (i invoker) HostReplyEndpoint(deliver func(body []byte)) (core.ReplyEndpoint, error) {
+	b := i.b
+	endpoint := fmt.Sprintf("mem://%s/callback-%d", b.host, callbackSeq.Add(1))
+	b.net.Register(endpoint, transport.HandlerFunc(func(ctx context.Context, req *transport.Request) (*transport.Response, error) {
+		deliver(req.Body)
+		return &transport.Response{}, nil
+	}))
+	return &memReplyEndpoint{
+		epr:   wsaddr.NewEndpointReference(endpoint),
+		net:   b.net,
+		where: endpoint,
+	}, nil
 }

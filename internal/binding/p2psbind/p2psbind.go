@@ -9,7 +9,9 @@ import (
 	"wspeer/internal/binding"
 	"wspeer/internal/core"
 	"wspeer/internal/engine"
+	"wspeer/internal/exchange"
 	"wspeer/internal/p2ps"
+	"wspeer/internal/pipeline"
 	"wspeer/internal/resilience"
 	"wspeer/internal/soap"
 	"wspeer/internal/transport"
@@ -25,6 +27,9 @@ const (
 	// DefinitionPipeName is the pipe the WSDL is retrieved from — the
 	// "definition pipe" extension the paper adds to P2PS service adverts.
 	DefinitionPipeName = "definition"
+	// CallbackPipeName is the persistent input pipe a consumer hosts to
+	// receive decoupled callback replies (core.CallbackHoster).
+	CallbackPipeName = "callback-replies"
 )
 
 // Options configures the P2PS binding.
@@ -124,7 +129,35 @@ func New(opts Options) (*Binding, error) {
 		Locators:   []core.ServiceLocator{b.Locator()},
 		Invokers:   []core.Invoker{b.Invoker()},
 	})
+	// Every P2PS request carries a non-anonymous ReplyTo (a pipe-advert
+	// EPR), so with this sender registered the engine delivers replies
+	// itself; the legacy reply path in handleRequest remains as a fallback.
+	opts.Engine.RegisterReplySender(core.P2PSScheme, b.ReplySender())
 	return b, nil
+}
+
+// ReplySender delivers decoupled replies by resolving the reply EPR's pipe
+// advertisement and writing the message down a fresh output pipe. Each
+// reply is also recorded in the duplicate-suppression window keyed by the
+// request MessageID it relates to, so a retransmitted request replays the
+// same response instead of being redispatched. Register it on another
+// binding's engine to let that substrate answer requests whose ReplyTo is
+// a P2PS pipe.
+func (b *Binding) ReplySender() engine.ReplySender {
+	return engine.ReplySenderFunc(func(ctx context.Context, to *wsaddr.EndpointReference, msg *exchange.Message) error {
+		if msg.Headers != nil && msg.Headers.RelatesTo != "" {
+			b.dedupStore(msg.Headers.RelatesTo, msg.Body)
+		}
+		pipe, err := EPRToPipe(to)
+		if err != nil {
+			return err
+		}
+		out, err := b.openPipe(pipe)
+		if err != nil {
+			return err
+		}
+		return out.Send(msg.Body)
+	})
 }
 
 // Peer exposes the underlying P2PS peer.
@@ -797,4 +830,111 @@ func (i invoker) Invoke(ctx context.Context, svc *core.ServiceInfo, op string, p
 			return nil, fmt.Errorf("p2psbind: no response from %s within %v (%d attempts)", svc.Endpoint, b.replyTimeout, sent)
 		}
 	}
+}
+
+// InvokeCall implements core.CallInvoker. Without exchange-layer headers
+// on the carrier it is the synchronous invocation above; with them it
+// sends per the requested exchange pattern. P2PS correlates replies by
+// WS-Addressing natively, so a stamped request/response call is simply the
+// normal invocation — only the one-way and callback patterns change the
+// wire behaviour (no reply pipe is created and nothing is awaited).
+func (i invoker) InvokeCall(c *pipeline.Call, svc *core.ServiceInfo, op string, params []engine.Param) (*engine.Result, error) {
+	hdr := binding.ExchangeHeaders(c)
+	if hdr == nil {
+		return i.Invoke(c.Ctx, svc, op, params)
+	}
+	if p, _ := c.GetMeta(exchange.MetaPattern).(exchange.Pattern); p == exchange.RequestResponse {
+		return i.Invoke(c.Ctx, svc, op, params)
+	}
+	return i.invokeExchange(c, svc, op, params, hdr)
+}
+
+// invokeExchange sends one one-way or callback message down the service's
+// request pipe: the core-minted MessageID keys the correlation table, the
+// ReplyTo (when present) names the consumer's hosted callback pipe, and a
+// completed pipe write is the transport-level ack.
+func (i invoker) invokeExchange(c *pipeline.Call, svc *core.ServiceInfo, op string, params []engine.Param, xh *wsaddr.MessageHeaders) (*engine.Result, error) {
+	b := i.b
+	ctx := c.Ctx
+	adv, err := b.advertFor(ctx, svc)
+	if err != nil {
+		return nil, err
+	}
+	reqPipeAdv := adv.Pipe(RequestPipeName)
+	if reqPipeAdv == nil {
+		return nil, fmt.Errorf("p2psbind: advert %q has no %q pipe", adv.Name, RequestPipeName)
+	}
+	if svc.Definitions == nil {
+		return nil, fmt.Errorf("p2psbind: service %q has no definitions", svc.Name)
+	}
+	stub := engine.NewStub(svc.Definitions, nil)
+	env, _, err := stub.PrepareEnvelope(op, params...)
+	if err != nil {
+		return nil, err
+	}
+	hdr := wsaddr.HeadersFor(PipeToEPR(reqPipeAdv, adv.Name), ActionFor(adv.Peer, adv.Name, RequestPipeName))
+	if xh.MessageID != "" {
+		hdr.MessageID = xh.MessageID // the ID the correlation table is keyed by
+	}
+	hdr.ReplyTo = xh.ReplyTo // nil for one-way: no reply is expected
+	hdr.FaultTo = xh.FaultTo
+	if err := hdr.Apply(env); err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		env.AddHeader(xmlutil.NewElement(xmlutil.N(transport.DeadlineNS, transport.DeadlineElement)).
+			SetText(transport.FormatDeadline(dl)))
+	}
+	out, err := b.openPipe(reqPipeAdv)
+	if err != nil {
+		return nil, err
+	}
+	wire := env.Marshal()
+	c.Request = &transport.Request{
+		Endpoint:    svc.Endpoint,
+		Action:      hdr.Action,
+		ContentType: soap.ContentType,
+		Body:        wire,
+	}
+	if err := out.Send(wire); err != nil {
+		return nil, err
+	}
+	c.Response = &transport.Response{}
+	return nil, nil
+}
+
+// pipeReplyEndpoint is a consumer-hosted callback pipe.
+type pipeReplyEndpoint struct {
+	epr  *wsaddr.EndpointReference
+	pipe *p2ps.InputPipe
+}
+
+// EPR implements core.ReplyEndpoint.
+func (e *pipeReplyEndpoint) EPR() *wsaddr.EndpointReference { return e.epr }
+
+// Close implements core.ReplyEndpoint.
+func (e *pipeReplyEndpoint) Close() error {
+	e.pipe.Close()
+	return nil
+}
+
+// HostReplyEndpoint implements core.CallbackHoster: unlike the per-call
+// reply pipes of the synchronous path, the callback pattern hosts one
+// persistent input pipe whose advert EPR is stamped as the ReplyTo of
+// every callback invocation; inbound replies are fed to deliver and
+// correlated by the client's table.
+func (i invoker) HostReplyEndpoint(deliver func(body []byte)) (core.ReplyEndpoint, error) {
+	b := i.b
+	pipe, err := b.pp.CreateInputPipe(CallbackPipeName)
+	if err != nil {
+		return nil, err
+	}
+	pipe.AddListener(func(_ p2ps.PeerID, data []byte) {
+		if !b.enter() {
+			return
+		}
+		defer b.inflight.Done()
+		deliver(data)
+	})
+	return &pipeReplyEndpoint{epr: PipeToEPR(pipe.Advertisement(), ""), pipe: pipe}, nil
 }

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"wspeer/internal/engine"
+	"wspeer/internal/exchange"
+	"wspeer/internal/pipeline"
+	"wspeer/internal/resilience"
+	"wspeer/internal/soap"
+	"wspeer/internal/telemetry"
+	"wspeer/internal/transport"
+	"wspeer/internal/wsaddr"
+)
+
+// Exchange-layer instruments: messages sent per pattern and replies that
+// arrived at a reply endpoint but could not be parsed at all.
+var (
+	mOneWaySent     = telemetry.Default().Meter.Counter("exchange.oneway.sent")
+	mCallbackSent   = telemetry.Default().Meter.Counter("exchange.callback.sent")
+	mReplyUnparsed  = telemetry.Default().Meter.Counter("exchange.reply.unparsed")
+	mReplyDelivered = telemetry.Default().Meter.Counter("exchange.reply.in")
+)
+
+// ReplyEndpoint is a live inbound endpoint a client hosts to receive
+// decoupled replies: the paper's observation that under WS-Addressing "the
+// consumer is itself an addressable endpoint" made concrete. Bindings
+// create them (an HTTP callback route, a P2PS input pipe, a mem:// handler)
+// and the client stamps their EPR as the ReplyTo of callback invocations.
+type ReplyEndpoint interface {
+	// EPR is the endpoint reference remote services reply to.
+	EPR() *wsaddr.EndpointReference
+	// Close tears the endpoint down.
+	Close() error
+}
+
+// CallbackHoster is an optional Invoker extension: invokers that can host a
+// reply endpoint on their substrate implement it, which is what makes
+// Invocation.InvokeCallback available for their schemes. The deliver
+// function receives each raw inbound reply body; implementations must call
+// it from at most one goroutine at a time per endpoint.
+type CallbackHoster interface {
+	// HostReplyEndpoint creates (or starts) a reply endpoint that feeds
+	// inbound messages to deliver.
+	HostReplyEndpoint(deliver func(body []byte)) (ReplyEndpoint, error)
+}
+
+// ExchangeOptions configures the client side of the message-exchange
+// layer.
+type ExchangeOptions struct {
+	// Table bounds the correlation table behind InvokeCallback.
+	Table exchange.TableOptions
+	// StampRequestResponse, when set, engages the exchange layer on plain
+	// Invoke calls too: each request is stamped with a fresh wsa:MessageID
+	// and an anonymous wsa:ReplyTo, making explicit that request/response
+	// is just a correlated exchange on the transport back channel. Off by
+	// default — unstamped request/response is the zero-overhead fast path.
+	StampRequestResponse bool
+}
+
+// clientExchange is the Client's lazily-built exchange state: the
+// correlation table for pending callbacks and one hosted reply endpoint
+// per endpoint scheme.
+type clientExchange struct {
+	mu        sync.Mutex
+	opts      ExchangeOptions
+	table     *exchange.Table
+	endpoints map[string]ReplyEndpoint // by endpoint URI scheme
+}
+
+// ConfigureExchange sets the client's exchange-layer options. Call it
+// before the first InvokeCallback: the correlation table is built lazily
+// on first use and an existing table keeps its original bounds.
+func (c *Client) ConfigureExchange(opts ExchangeOptions) {
+	c.exch.mu.Lock()
+	defer c.exch.mu.Unlock()
+	c.exch.opts = opts
+}
+
+// exchangeTable returns the client's correlation table, building it on
+// first use. Callers hold no locks.
+func (c *Client) exchangeTable() *exchange.Table {
+	c.exch.mu.Lock()
+	defer c.exch.mu.Unlock()
+	if c.exch.table == nil {
+		c.exch.table = exchange.NewTable(c.exch.opts.Table)
+	}
+	return c.exch.table
+}
+
+// ExchangeStats snapshots the correlation table's counters (zero-valued
+// before the first callback invocation).
+func (c *Client) ExchangeStats() exchange.TableStats {
+	c.exch.mu.Lock()
+	t := c.exch.table
+	c.exch.mu.Unlock()
+	if t == nil {
+		return exchange.TableStats{}
+	}
+	return t.Stats()
+}
+
+// CloseExchange tears down the client's exchange state: every hosted reply
+// endpoint is closed and every pending callback fails with
+// exchange.ErrClosed. The client remains usable for synchronous
+// invocation; a later InvokeCallback builds fresh state.
+func (c *Client) CloseExchange() error {
+	c.exch.mu.Lock()
+	t := c.exch.table
+	eps := c.exch.endpoints
+	c.exch.table = nil
+	c.exch.endpoints = nil
+	c.exch.mu.Unlock()
+	if t != nil {
+		t.Close()
+	}
+	var firstErr error
+	for _, ep := range eps {
+		if err := ep.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// replyEndpoint returns the client's hosted reply endpoint for a scheme,
+// asking the hoster to create one on first use.
+func (c *Client) replyEndpoint(scheme string, h CallbackHoster) (ReplyEndpoint, error) {
+	c.exch.mu.Lock()
+	defer c.exch.mu.Unlock()
+	if ep, ok := c.exch.endpoints[scheme]; ok {
+		return ep, nil
+	}
+	ep, err := h.HostReplyEndpoint(c.handleReply)
+	if err != nil {
+		return nil, err
+	}
+	if c.exch.endpoints == nil {
+		c.exch.endpoints = make(map[string]ReplyEndpoint)
+	}
+	c.exch.endpoints[scheme] = ep
+	return ep, nil
+}
+
+// handleReply is the deliver function every hosted reply endpoint feeds:
+// parse the envelope, recover the WS-Addressing headers, and route the
+// message to its pending exchange by RelatesTo. Unparseable and
+// uncorrelatable messages are counted, never fatal — a reply endpoint is
+// reachable from the network and must shrug off junk.
+func (c *Client) handleReply(body []byte) {
+	mReplyDelivered.Inc()
+	env, err := soap.Parse(body)
+	if err != nil {
+		mReplyUnparsed.Inc()
+		return
+	}
+	hdr, err := wsaddr.FromEnvelope(env)
+	if err != nil || hdr.RelatesTo == "" {
+		mReplyUnparsed.Inc()
+		return
+	}
+	c.exchangeTable().Resolve(hdr.RelatesTo, &exchange.Message{
+		Endpoint:    hdr.To,
+		Action:      hdr.Action,
+		ContentType: env.Version().ContentType(),
+		Body:        body,
+		Headers:     hdr,
+	})
+}
+
+// stampExchange engages the exchange layer on a plain request/response
+// invocation when the client opted in via StampRequestResponse.
+func (c *Client) stampExchange(pc *pipeline.Call) {
+	c.exch.mu.Lock()
+	stamp := c.exch.opts.StampRequestResponse
+	c.exch.mu.Unlock()
+	if !stamp {
+		return
+	}
+	pc.SetMeta(exchange.MetaPattern, exchange.RequestResponse)
+	pc.SetMeta(exchange.MetaHeaders, &wsaddr.MessageHeaders{
+		MessageID: wsaddr.NewMessageID(),
+		ReplyTo:   wsaddr.NewEndpointReference(wsaddr.Anonymous),
+	})
+}
+
+// newExchangeCall builds the pipeline carrier for an exchange-layer
+// invocation against the primary target, mirroring Invoke's setup.
+func (inv *Invocation) newExchangeCall(span *telemetry.Span, op string) *pipeline.Call {
+	primary := inv.targets[0]
+	c := &pipeline.Call{Dir: pipeline.ClientCall, Service: primary.svc.Name, Op: op, Span: span}
+	c.SetMeta(resilience.MetaEndpoint, primary.svc.Endpoint)
+	if budget := inv.client.pipelineBudget(); budget != nil {
+		c.SetMeta(pipeline.MetaRetryBudget, budget)
+	}
+	return c
+}
+
+// InvokeOneWay sends the operation as a fire-and-forget message through
+// the client pipeline: the call returns once the substrate has accepted
+// the message (an HTTP 202, a completed pipe write, a completed in-memory
+// dispatch) and no reply is ever decoded. The invocation targets the
+// primary endpoint only.
+func (inv *Invocation) InvokeOneWay(ctx context.Context, op string, params ...engine.Param) error {
+	primary := inv.targets[0]
+	span, ctx := telemetry.Default().Tracer.StartSpan(ctx, "client.invoke.oneway")
+	span.SetService(primary.svc.Name)
+	span.SetOp(op)
+	span.SetDir(telemetry.DirClient)
+	span.SetEndpoint(primary.svc.Endpoint)
+	c := inv.newExchangeCall(span, op)
+	c.Ctx = ctx
+	c.SetMeta(exchange.MetaPattern, exchange.OneWay)
+	c.SetMeta(exchange.MetaHeaders, &wsaddr.MessageHeaders{MessageID: wsaddr.NewMessageID()})
+	start := time.Now()
+	err := inv.client.chain.Run(c, func(c *pipeline.Call) error {
+		_, err := invokeTarget(c, primary, op, params)
+		return err
+	})
+	telemetry.Default().Calls.Record(primary.svc.Name, telemetry.DirClient, time.Since(start), err != nil)
+	if span != nil {
+		span.SetError(err)
+		span.End()
+	}
+	if err == nil {
+		mOneWaySent.Inc()
+	}
+	return err
+}
+
+// PendingReply is the application's handle on a callback invocation: the
+// request has been sent with a ReplyTo naming a client-hosted endpoint,
+// and the decoupled reply (or an expiry/closure error) completes it.
+type PendingReply struct {
+	future *exchange.Future
+	id     string
+}
+
+// MessageID returns the wsa:MessageID the reply will relate to.
+func (p *PendingReply) MessageID() string { return p.id }
+
+// Done returns a channel closed when the reply (or an error) is ready.
+func (p *PendingReply) Done() <-chan struct{} { return p.future.Done() }
+
+// Wait blocks for the decoupled reply and decodes it. A reply that never
+// arrives surfaces as *exchange.ExpiredError once its TTL passes; a fault
+// reply surfaces as the *soap.Fault error.
+func (p *PendingReply) Wait(ctx context.Context) (*engine.Result, error) {
+	msg, err := p.future.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	env, err := soap.Parse(msg.Body)
+	if err != nil {
+		return nil, fmt.Errorf("core: callback reply: %w", err)
+	}
+	return engine.ResultFromEnvelope(env)
+}
+
+// InvokeCallback sends the operation with a wsa:ReplyTo naming a reply
+// endpoint this client hosts on the target's substrate, and returns
+// immediately with a PendingReply: the provider delivers its response as a
+// separate message to that endpoint — a different connection for HTTP, a
+// different pipe for P2PS — where it is correlated back by wsa:RelatesTo
+// (paper §IV-B, figure 6).
+//
+// The pending exchange is bounded: it expires after the context deadline
+// when one is set, else the configured table TTL, and the correlation
+// table sheds registrations beyond its capacity with exchange.ErrTableFull.
+// The invoker for the primary target's scheme must implement
+// CallbackHoster.
+func (inv *Invocation) InvokeCallback(ctx context.Context, op string, params ...engine.Param) (*PendingReply, error) {
+	primary := inv.targets[0]
+	hoster, ok := primary.invoker.(CallbackHoster)
+	if !ok {
+		return nil, fmt.Errorf("core: invoker for scheme %q cannot host reply endpoints",
+			transport.SchemeOf(primary.svc.Endpoint))
+	}
+	ep, err := inv.client.replyEndpoint(transport.SchemeOf(primary.svc.Endpoint), hoster)
+	if err != nil {
+		return nil, fmt.Errorf("core: hosting reply endpoint: %w", err)
+	}
+
+	var ttl time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		ttl = time.Until(dl)
+	}
+	msgID := wsaddr.NewMessageID()
+	table := inv.client.exchangeTable()
+	fut, err := table.Register(msgID, ttl)
+	if err != nil {
+		return nil, err
+	}
+
+	span, ctx := telemetry.Default().Tracer.StartSpan(ctx, "client.invoke.callback")
+	span.SetService(primary.svc.Name)
+	span.SetOp(op)
+	span.SetDir(telemetry.DirClient)
+	span.SetEndpoint(primary.svc.Endpoint)
+	c := inv.newExchangeCall(span, op)
+	c.Ctx = ctx
+	c.SetMeta(exchange.MetaPattern, exchange.Callback)
+	c.SetMeta(exchange.MetaHeaders, &wsaddr.MessageHeaders{MessageID: msgID, ReplyTo: ep.EPR()})
+	start := time.Now()
+	err = inv.client.chain.Run(c, func(c *pipeline.Call) error {
+		_, err := invokeTarget(c, primary, op, params)
+		return err
+	})
+	telemetry.Default().Calls.Record(primary.svc.Name, telemetry.DirClient, time.Since(start), err != nil)
+	if span != nil {
+		span.SetError(err)
+		span.End()
+	}
+	if err != nil {
+		// The request never left (or the substrate rejected it): no reply
+		// can arrive, so withdraw the pending entry rather than letting it
+		// sit until expiry.
+		table.Cancel(msgID)
+		return nil, err
+	}
+	mCallbackSent.Inc()
+	return &PendingReply{future: fut, id: msgID}, nil
+}

@@ -100,6 +100,12 @@ type Client struct {
 	rcache   *resolve.Cache          // discovery resolution cache (LocateCached)
 	sched    *scheduler              // bounded pool behind InvokeAsync/InvokeMany
 	budget   *resilience.RetryBudget // retransmission budget shared by Retry/Hedge
+
+	// exch is the client side of the message-exchange layer (see
+	// exchange.go): the callback correlation table and hosted reply
+	// endpoints, built lazily so clients that never use the asynchronous
+	// patterns pay nothing for them.
+	exch clientExchange
 }
 
 // Use installs client-side pipeline interceptors (Deadline, Retry,
@@ -495,6 +501,7 @@ func (inv *Invocation) Invoke(ctx context.Context, op string, params ...engine.P
 	if budget != nil {
 		c.SetMeta(pipeline.MetaRetryBudget, budget)
 	}
+	inv.client.stampExchange(c)
 	var res *engine.Result
 	var err error
 	start := time.Now()

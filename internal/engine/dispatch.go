@@ -225,6 +225,13 @@ func (e *Engine) ServeRequest(ctx context.Context, serviceName string, req *tran
 // serveCall is the server pipeline's terminal: parse, run the handler
 // chains and the operation, encode. It fills c.Response (faults included)
 // and reserves the error return for the pipeline above it.
+//
+// Requests carrying WS-Addressing headers get exchange-pattern treatment:
+// a non-anonymous ReplyTo (FaultTo for faults) whose scheme has a
+// registered ReplySender receives the response as a separate outbound
+// message — the back channel carries only the transport-level ack — and
+// in-band replies are stamped with RelatesTo so the caller can correlate.
+// Requests without headers take exactly the pre-exchange path.
 func (e *Engine) serveCall(c *pipeline.Call) error {
 	e.nRequests.Add(1)
 	mEngineRequests.Inc()
@@ -232,6 +239,16 @@ func (e *Engine) serveCall(c *pipeline.Call) error {
 	version := soap.SOAP11
 	if env != nil {
 		version = env.Version() // answer in the caller's SOAP version
+	}
+	// Parse addressing headers only when header blocks exist at all, so
+	// the plain synchronous path pays nothing for the exchange layer.
+	var hdr *wsaddr.MessageHeaders
+	if fault == nil && len(env.Headers()) > 0 {
+		var err error
+		if hdr, err = wsaddr.FromEnvelope(env); err != nil {
+			hdr = nil
+			fault = soap.NewFault(soap.FaultClient, "invalid addressing headers: %s", err)
+		}
 	}
 	var respEnv *soap.Envelope
 	var oneWay bool
@@ -249,6 +266,21 @@ func (e *Engine) serveCall(c *pipeline.Call) error {
 		e.nFaults.Add(1)
 		mEngineFaults.Inc()
 		respEnv = soap.NewEnvelopeV(version).SetFault(fault)
+	}
+	if target := replyTarget(hdr, respEnv.IsFault()); target != nil && target.Address != wsaddr.Anonymous {
+		if sender := e.replySender(transport.SchemeOf(target.Address)); sender != nil {
+			if e.sendDecoupledReply(c.Ctx, hdr, target, respEnv, sender) == nil {
+				// Reply delivered out-of-band: the request connection gets
+				// only the transport-level ack (hosts answer 202 Accepted).
+				c.Response = &transport.Response{}
+				return nil
+			}
+			// Delivery failed (counted in exchange.reply.failed): fall back
+			// to the back channel so the response is not lost outright.
+		}
+	}
+	if hdr != nil && hdr.MessageID != "" && respEnv.Header(wsaddr.RelatesToName) == nil {
+		respEnv.AddHeader(xmlutil.NewElement(wsaddr.RelatesToName).SetText(hdr.MessageID))
 	}
 	c.Response = &transport.Response{
 		ContentType: version.ContentType(),

@@ -129,6 +129,12 @@ type Engine struct {
 	understoodMu sync.RWMutex
 	understood   map[string]bool
 
+	// replySenders route decoupled replies (non-anonymous wsa:ReplyTo /
+	// wsa:FaultTo) by the reply endpoint's URI scheme; bindings register
+	// theirs via RegisterReplySender.
+	replyMu      sync.RWMutex
+	replySenders map[string]ReplySender
+
 	// admission, when set, gates every ServeRequest — from any host the
 	// engine is attached to — behind server-side admission control.
 	admission atomic.Pointer[resilience.Admission]

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"wspeer/internal/exchange"
+	"wspeer/internal/soap"
+	"wspeer/internal/telemetry"
+	"wspeer/internal/wsaddr"
+)
+
+// Decoupled-reply instruments: replies the engine delivered as separate
+// outbound messages (honoring a non-anonymous ReplyTo/FaultTo) and
+// deliveries that failed and fell back to the transport back channel.
+var (
+	mExchangeReplyOut    = telemetry.Default().Meter.Counter("exchange.reply.out")
+	mExchangeReplyFailed = telemetry.Default().Meter.Counter("exchange.reply.failed")
+)
+
+// ReplySender delivers one reply message as a separate outbound message to
+// a non-anonymous reply endpoint. Bindings register one per URI scheme
+// they can address: the HTTP binding posts over its transport registry,
+// the P2PS binding resolves the EPR's pipe advertisement and writes the
+// reply down a fresh pipe, the in-memory binding hands the message to the
+// registered handler. The EPR is passed alongside the flattened message
+// because some bindings (P2PS) route by its reference properties, not by
+// the address URI alone.
+type ReplySender interface {
+	SendReply(ctx context.Context, to *wsaddr.EndpointReference, msg *exchange.Message) error
+}
+
+// ReplySenderFunc adapts a function to ReplySender.
+type ReplySenderFunc func(ctx context.Context, to *wsaddr.EndpointReference, msg *exchange.Message) error
+
+// SendReply calls f.
+func (f ReplySenderFunc) SendReply(ctx context.Context, to *wsaddr.EndpointReference, msg *exchange.Message) error {
+	return f(ctx, to, msg)
+}
+
+// RegisterReplySender makes the engine able to deliver decoupled replies
+// to endpoints of the given URI scheme. Registering for a scheme replaces
+// any previous sender.
+func (e *Engine) RegisterReplySender(scheme string, s ReplySender) {
+	e.replyMu.Lock()
+	defer e.replyMu.Unlock()
+	if e.replySenders == nil {
+		e.replySenders = make(map[string]ReplySender)
+	}
+	e.replySenders[scheme] = s
+}
+
+// UnregisterReplySender removes the sender for a scheme.
+func (e *Engine) UnregisterReplySender(scheme string) {
+	e.replyMu.Lock()
+	defer e.replyMu.Unlock()
+	delete(e.replySenders, scheme)
+}
+
+// replySender returns the sender for a scheme, or nil.
+func (e *Engine) replySender(scheme string) ReplySender {
+	e.replyMu.RLock()
+	defer e.replyMu.RUnlock()
+	return e.replySenders[scheme]
+}
+
+// replyTarget picks where a reply should be delivered per WS-Addressing:
+// faults prefer FaultTo when the request carried one, everything else
+// follows ReplyTo.
+func replyTarget(h *wsaddr.MessageHeaders, fault bool) *wsaddr.EndpointReference {
+	if h == nil {
+		return nil
+	}
+	if fault && h.FaultTo != nil {
+		return h.FaultTo
+	}
+	return h.ReplyTo
+}
+
+// sendDecoupledReply stamps the WS-Addressing reply headers (RelatesTo =
+// request MessageID, To = the reply endpoint) onto respEnv and hands it to
+// the sender as a separate outbound message. On failure the caller falls
+// back to the transport back channel.
+func (e *Engine) sendDecoupledReply(ctx context.Context, req *wsaddr.MessageHeaders, target *wsaddr.EndpointReference, respEnv *soap.Envelope, sender ReplySender) error {
+	fault := respEnv.IsFault()
+	action := req.Action + "#response"
+	if fault {
+		action = req.Action + "#fault"
+	}
+	rh, err := req.Reply(action, fault)
+	if err != nil {
+		return err
+	}
+	if err := rh.Apply(respEnv); err != nil {
+		return fmt.Errorf("engine: stamping reply headers: %w", err)
+	}
+	msg := &exchange.Message{
+		Endpoint:    target.Address,
+		Action:      action,
+		ContentType: respEnv.Version().ContentType(),
+		Body:        respEnv.Marshal(),
+		Headers:     rh,
+	}
+	if err := sender.SendReply(ctx, target, msg); err != nil {
+		mExchangeReplyFailed.Inc()
+		return err
+	}
+	mExchangeReplyOut.Inc()
+	return nil
+}

@@ -177,6 +177,22 @@ func DecodeResponse(body []byte, det *wsdl.OperationDetail) (*Result, error) {
 	return DecodeResponseEnvelope(env, det)
 }
 
+// ResultFromEnvelope wraps a response envelope as a Result without an
+// operation detail — the decoupled-reply path, where the callback message
+// arrives on its own connection and is matched to the request by
+// RelatesTo rather than by the invocation that produced it. A fault
+// envelope is returned as the *soap.Fault error.
+func ResultFromEnvelope(env *soap.Envelope) (*Result, error) {
+	if env.IsFault() {
+		return nil, env.Fault()
+	}
+	wrapper := env.FirstBodyElement()
+	if wrapper == nil {
+		return nil, fmt.Errorf("engine: reply has an empty body")
+	}
+	return &Result{Wrapper: wrapper, ns: wrapper.Name.Space}, nil
+}
+
 // DecodeResponseEnvelope interprets an already-parsed response envelope.
 func DecodeResponseEnvelope(env *soap.Envelope, det *wsdl.OperationDetail) (*Result, error) {
 	if env.IsFault() {

@@ -1,0 +1,212 @@
+package exchange
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTableResolveCompletesFuture(t *testing.T) {
+	tab := NewTable(TableOptions{})
+	f, err := tab.Register("urn:uuid:1", time.Minute)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	want := &Message{Body: []byte("<reply/>"), Action: "a#response"}
+	if got := tab.Resolve("urn:uuid:1", want); got != Resolved {
+		t.Fatalf("Resolve outcome = %v, want Resolved", got)
+	}
+	msg, err := f.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if string(msg.Body) != "<reply/>" {
+		t.Fatalf("Wait body = %q", msg.Body)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("table retains %d entries after resolve", tab.Len())
+	}
+}
+
+func TestTableExpiryReclaimsEntry(t *testing.T) {
+	tab := NewTable(TableOptions{TTL: 10 * time.Millisecond})
+	f, err := tab.Register("urn:uuid:exp", 0)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	_, err = f.Wait(context.Background())
+	var exp *ExpiredError
+	if !errors.As(err, &exp) {
+		t.Fatalf("Wait error = %v, want ExpiredError", err)
+	}
+	if exp.MessageID != "urn:uuid:exp" {
+		t.Fatalf("ExpiredError.MessageID = %q", exp.MessageID)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("table retains %d entries after expiry", tab.Len())
+	}
+	st := tab.Stats()
+	if st.Expired != 1 || st.Inflight != 0 {
+		t.Fatalf("stats after expiry = %+v", st)
+	}
+	// A late reply for the expired exchange is a duplicate, not an orphan.
+	if got := tab.Resolve("urn:uuid:exp", &Message{}); got != Duplicate {
+		t.Fatalf("late reply outcome = %v, want Duplicate", got)
+	}
+}
+
+func TestTableDuplicateAndOrphanReplies(t *testing.T) {
+	tab := NewTable(TableOptions{})
+	if _, err := tab.Register("urn:uuid:d", time.Minute); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if got := tab.Resolve("urn:uuid:d", &Message{}); got != Resolved {
+		t.Fatalf("first reply = %v, want Resolved", got)
+	}
+	if got := tab.Resolve("urn:uuid:d", &Message{}); got != Duplicate {
+		t.Fatalf("retransmitted reply = %v, want Duplicate", got)
+	}
+	if got := tab.Resolve("urn:uuid:never-sent", &Message{}); got != Orphan {
+		t.Fatalf("unknown reply = %v, want Orphan", got)
+	}
+	st := tab.Stats()
+	if st.Resolved != 1 || st.Duplicates != 1 || st.Orphans != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTableCapacitySheds(t *testing.T) {
+	tab := NewTable(TableOptions{Capacity: 2, TTL: time.Minute})
+	for i := 0; i < 2; i++ {
+		if _, err := tab.Register(fmt.Sprintf("urn:uuid:cap-%d", i), 0); err != nil {
+			t.Fatalf("Register %d: %v", i, err)
+		}
+	}
+	if _, err := tab.Register("urn:uuid:cap-2", 0); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("Register beyond capacity = %v, want ErrTableFull", err)
+	}
+	// Resolving one frees a slot.
+	tab.Resolve("urn:uuid:cap-0", &Message{})
+	if _, err := tab.Register("urn:uuid:cap-2", 0); err != nil {
+		t.Fatalf("Register after resolve: %v", err)
+	}
+}
+
+func TestTableDoesNotLeakUnderChurn(t *testing.T) {
+	// Exchanges whose replies never come must all be reclaimed by their
+	// timers; the table must end empty.
+	tab := NewTable(TableOptions{Capacity: 512, TTL: 5 * time.Millisecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := fmt.Sprintf("urn:uuid:churn-%d-%d", g, i)
+				f, err := tab.Register(id, 0)
+				if err != nil {
+					t.Errorf("Register %s: %v", id, err)
+					return
+				}
+				if i%2 == 0 {
+					tab.Resolve(id, &Message{})
+				}
+				if _, err := f.Wait(context.Background()); err != nil {
+					var exp *ExpiredError
+					if !errors.As(err, &exp) {
+						t.Errorf("Wait %s: %v", id, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(2 * time.Second)
+	for tab.Len() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := tab.Len(); n != 0 {
+		t.Fatalf("table leaked %d entries", n)
+	}
+	st := tab.Stats()
+	if st.Resolved+st.Expired != 400 {
+		t.Fatalf("resolved %d + expired %d != 400", st.Resolved, st.Expired)
+	}
+}
+
+func TestTableConcurrentResolveExpireRace(t *testing.T) {
+	// Resolve and expiry racing on the same entries must complete each
+	// future exactly once and never deadlock.
+	tab := NewTable(TableOptions{Capacity: 1024, TTL: time.Millisecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("urn:uuid:race-%d", i)
+		f, err := tab.Register(id, 0)
+		if err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			tab.Resolve(id, &Message{})
+		}()
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if _, err := f.Wait(ctx); err != nil {
+				var exp *ExpiredError
+				if !errors.As(err, &exp) {
+					t.Errorf("Wait: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTableCloseFailsPending(t *testing.T) {
+	tab := NewTable(TableOptions{TTL: time.Minute})
+	f, err := tab.Register("urn:uuid:closing", 0)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	tab.Close()
+	if _, err := f.Wait(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Wait after close = %v, want ErrClosed", err)
+	}
+	if _, err := tab.Register("urn:uuid:late", 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Register after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestFutureWaitHonorsContext(t *testing.T) {
+	tab := NewTable(TableOptions{TTL: time.Minute})
+	f, err := tab.Register("urn:uuid:ctx", 0)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	// The entry is still pending (ctx cancel does not unregister).
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+	tab.Close()
+}
+
+func TestPatternAndOutcomeStrings(t *testing.T) {
+	if RequestResponse.String() != "request-response" || OneWay.String() != "one-way" || Callback.String() != "callback" {
+		t.Fatal("Pattern.String mismatch")
+	}
+	if Resolved.String() != "resolved" || Orphan.String() != "orphan" || Duplicate.String() != "duplicate" {
+		t.Fatal("Outcome.String mismatch")
+	}
+}

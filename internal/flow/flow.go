@@ -180,7 +180,11 @@ type run struct {
 
 // Run executes the workflow: steps start as soon as their dependencies
 // complete, independent branches in parallel. The first failure cancels
-// the remaining steps.
+// the remaining steps. Each step's invocation runs on its client's bounded
+// invocation scheduler (core.Client.ConfigureScheduler), so a wide fan-out
+// holds at most MaxConcurrent invocations in flight per client and excess
+// steps are shed with a *resilience.OverloadError instead of stampeding
+// the substrate.
 func (w *Workflow) Run(ctx context.Context) (*Results, error) {
 	if err := w.validate(); err != nil {
 		return nil, err
@@ -239,7 +243,21 @@ func (w *Workflow) Run(ctx context.Context) (*Results, error) {
 				}
 				params = append(params, engine.Param{Name: pname, Value: v})
 			}
-			res, err := step.Invocation.Invoke(ctx, step.Operation, params...)
+			// Submit through the client's bounded scheduler rather than
+			// invoking inline: the DAG fan-out above decides *when* a step
+			// may start, the scheduler decides *how many* may be on the
+			// wire at once. The callback fires exactly once — with the
+			// invocation's outcome, or with the scheduler's shed error.
+			type outcome struct {
+				res *engine.Result
+				err error
+			}
+			ch := make(chan outcome, 1)
+			step.Invocation.InvokeAsync(ctx, step.Operation, params, func(res *engine.Result, err error) {
+				ch <- outcome{res: res, err: err}
+			})
+			o := <-ch
+			res, err := o.res, o.err
 			w.fireStep(StepEvent{Workflow: w.name, Step: step.Name, Err: err})
 			if err != nil {
 				fail(step.Name, err)

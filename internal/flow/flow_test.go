@@ -11,6 +11,7 @@ import (
 
 	"wspeer/internal/core"
 	"wspeer/internal/engine"
+	"wspeer/internal/resilience"
 	"wspeer/internal/transport"
 	"wspeer/internal/wsdl"
 )
@@ -327,6 +328,85 @@ func TestContextCancellation(t *testing.T) {
 	}
 	if time.Since(start) > 3*time.Second {
 		t.Fatal("cancellation not honoured promptly")
+	}
+}
+
+func TestFanOutRespectsSchedulerBound(t *testing.T) {
+	r := newRig(t)
+	r.peer.Client().ConfigureScheduler(core.SchedulerOptions{MaxConcurrent: 2, MaxQueue: 64})
+
+	var inFlight, peak int64
+	var mu sync.Mutex
+	gauge := engine.ServiceDef{
+		Name: "Gauge",
+		Operations: []engine.OperationDef{{
+			Name: "tick",
+			Func: func() string {
+				mu.Lock()
+				inFlight++
+				if inFlight > peak {
+					peak = inFlight
+				}
+				mu.Unlock()
+				time.Sleep(20 * time.Millisecond)
+				mu.Lock()
+				inFlight--
+				mu.Unlock()
+				return "ok"
+			},
+		}},
+	}
+	inv := r.host(gauge)
+	wf := New("wide")
+	for _, name := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		wf.AddStep(Step{Name: name, Invocation: inv, Operation: "tick", Inputs: map[string]Source{}})
+	}
+	if _, err := wf.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if peak > 2 {
+		t.Fatalf("peak concurrency = %d, scheduler bound is 2", peak)
+	}
+	if peak < 1 {
+		t.Fatalf("no step ran")
+	}
+}
+
+func TestFanOutShedsWhenSchedulerSaturated(t *testing.T) {
+	r := newRig(t)
+	r.peer.Client().ConfigureScheduler(core.SchedulerOptions{MaxConcurrent: 1, MaxQueue: 1})
+
+	// The held step unblocks when the run is cancelled (by the shed
+	// error) so Run can drain; a hard block would deadlock wg.Wait.
+	block := make(chan struct{})
+	slow := engine.ServiceDef{
+		Name: "Block",
+		Operations: []engine.OperationDef{{
+			Name: "hold",
+			Func: func(ctx context.Context) (string, error) {
+				select {
+				case <-block:
+					return "ok", nil
+				case <-ctx.Done():
+					return "", ctx.Err()
+				}
+			},
+		}},
+	}
+	inv := r.host(slow)
+	wf := New("stampede")
+	for _, name := range []string{"a", "b", "c", "d", "e", "f"} {
+		wf.AddStep(Step{Name: name, Invocation: inv, Operation: "hold", Inputs: map[string]Source{}})
+	}
+	_, err := wf.Run(context.Background())
+	close(block)
+	if err == nil {
+		t.Fatal("saturated fan-out succeeded")
+	}
+	if _, ok := resilience.AsOverload(err); !ok {
+		t.Fatalf("err = %v, want *resilience.OverloadError", err)
 	}
 }
 

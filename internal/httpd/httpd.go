@@ -45,6 +45,10 @@ const BasePath = "/services/"
 // per-service call table) plus this host's engine and admission stats.
 const DebugPath = "/debug/wspeer"
 
+// CallbackPath is the URL prefix under which client-hosted reply endpoints
+// (HostCallback) receive decoupled replies.
+const CallbackPath = "/callback/"
+
 // Spine counters for hosted HTTP traffic.
 var (
 	mHostRequests  = telemetry.Default().Meter.Counter("httpd.requests")
@@ -101,6 +105,8 @@ type Host struct {
 	interceptor Interceptor
 	observer    Observer
 	deployed    map[string]bool
+	callbacks   map[string]func(body []byte)
+	callbackSeq int64
 }
 
 // New returns a host for the engine's services. The HTTP listener is NOT
@@ -195,6 +201,65 @@ func (h *Host) WSDL(service string) (*wsdl.Definitions, error) {
 	return svc.WSDL(transportURI, h.Endpoint(service))
 }
 
+// HostCallback exposes a reply endpoint under CallbackPath: the returned
+// URL accepts POSTed reply messages and feeds each body to deliver. This
+// is the client half of the callback exchange pattern — a consumer hosts
+// one of these, stamps its URL as wsa:ReplyTo, and providers deliver
+// responses to it on a fresh connection. It launches the lazy listener if
+// no service deployment already has, so a pure consumer can host replies
+// without deploying anything. The returned cancel tears the route down.
+func (h *Host) HostCallback(deliver func(body []byte)) (url string, cancel func(), err error) {
+	if err := h.ensureStarted(); err != nil {
+		return "", nil, err
+	}
+	h.mu.Lock()
+	h.callbackSeq++
+	id := strconv.FormatInt(h.callbackSeq, 10)
+	if h.callbacks == nil {
+		h.callbacks = make(map[string]func([]byte))
+	}
+	h.callbacks[id] = deliver
+	url = fmt.Sprintf("%s://%s%s%s", h.opts.Profile, h.ln.Addr().String(), CallbackPath, id)
+	h.mu.Unlock()
+	return url, func() {
+		h.mu.Lock()
+		delete(h.callbacks, id)
+		h.mu.Unlock()
+	}, nil
+}
+
+// handleCallback accepts a decoupled reply addressed to a hosted callback
+// endpoint. Delivery is acknowledged with 202 Accepted and an empty body:
+// the reply to a reply is nothing.
+func (h *Host) handleCallback(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, CallbackPath)
+	h.mu.Lock()
+	deliver := h.callbacks[id]
+	h.mu.Unlock()
+	if deliver == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes))
+	if err != nil {
+		http.Error(w, "reading reply", http.StatusBadRequest)
+		return
+	}
+	if h.opts.Profile == "httpg" {
+		proof := r.Header.Get(transport.HTTPGAuthHeader)
+		if !transport.VerifyHTTPG(h.opts.Secret, body, proof) {
+			http.Error(w, "httpg authentication failed", http.StatusForbidden)
+			return
+		}
+	}
+	deliver(body)
+	w.WriteHeader(http.StatusAccepted)
+}
+
 // ensureStarted lazily launches the listener.
 func (h *Host) ensureStarted() error {
 	h.mu.Lock()
@@ -212,6 +277,7 @@ func (h *Host) ensureStarted() error {
 	h.ln = ln
 	mux := http.NewServeMux()
 	mux.HandleFunc(BasePath, h.handle)
+	mux.HandleFunc(CallbackPath, h.handleCallback)
 	mux.HandleFunc(DebugPath, h.handleDebug)
 	mux.HandleFunc("/", h.handleIndex)
 	h.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}

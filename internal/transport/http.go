@@ -109,6 +109,15 @@ func (t *HTTPTransport) Call(ctx context.Context, req *Request) (*Response, erro
 	return t.post(ctx, req.Endpoint, req, nil)
 }
 
+// Post implements Poster: the message is delivered and the HTTP status is
+// the only acknowledgement — any response body (a host answering a one-way
+// message with 202 Accepted carries none anyway) is discarded unread by
+// the SOAP layer.
+func (t *HTTPTransport) Post(ctx context.Context, req *Request) error {
+	_, err := t.post(ctx, req.Endpoint, req, nil)
+	return err
+}
+
 func (t *HTTPTransport) post(ctx context.Context, url string, req *Request, decorate func(*http.Request)) (*Response, error) {
 	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(req.Body))
 	if err != nil {
@@ -257,6 +266,13 @@ func (t *HTTPGTransport) Call(ctx context.Context, req *Request) (*Response, err
 	return t.post(ctx, url, req, func(hr *http.Request) {
 		hr.Header.Set(HTTPGAuthHeader, mac)
 	})
+}
+
+// Post implements Poster with the same URL rewrite and authentication
+// proof as Call.
+func (t *HTTPGTransport) Post(ctx context.Context, req *Request) error {
+	_, err := t.Call(ctx, req)
+	return err
 }
 
 // SignHTTPG computes the authentication proof for a request body.

@@ -58,6 +58,14 @@ type inMemTransport InMemNetwork
 // Scheme implements Transport.
 func (t *inMemTransport) Scheme() string { return "mem" }
 
+// Post implements Poster. Delivery is the ack: the handler runs to
+// completion (so its effects are observable, mirroring a completed wire
+// write plus server accept) but its response is discarded.
+func (t *inMemTransport) Post(ctx context.Context, req *Request) error {
+	_, err := t.Call(ctx, req)
+	return err
+}
+
 // Call implements Transport. The caller's context — deadline included —
 // reaches the handler directly, so the in-memory substrate propagates
 // deadlines natively with no wire encoding (the wire transports carry

@@ -51,6 +51,15 @@ type Transport interface {
 	Call(ctx context.Context, req *Request) (*Response, error)
 }
 
+// Poster is the optional one-way side of a transport: Post delivers the
+// request and returns once the transport has accepted it (the
+// transport-level ack — an HTTP 2xx, a completed pipe write), without
+// waiting for or decoding any application reply. Transports that do not
+// implement it fall back to Call with the response discarded.
+type Poster interface {
+	Post(ctx context.Context, req *Request) error
+}
+
 // Handler is the server side of a transport: it consumes a request and
 // produces a response. Implementations are the messaging engine or raw
 // application interceptors.
@@ -116,6 +125,26 @@ func (r *Registry) Call(ctx context.Context, req *Request) (*Response, error) {
 		return nil, fmt.Errorf("transport: no transport registered for scheme %q (have %v)", scheme, r.Schemes())
 	}
 	return t.Call(ctx, req)
+}
+
+// Post routes the request one-way to the transport selected by the
+// endpoint scheme: delivery is acknowledged at the transport level only.
+// Transports without a native Post are driven through Call with the
+// response discarded.
+func (r *Registry) Post(ctx context.Context, req *Request) error {
+	scheme := SchemeOf(req.Endpoint)
+	if scheme == "" {
+		return fmt.Errorf("transport: endpoint %q has no scheme", req.Endpoint)
+	}
+	t, ok := r.Lookup(scheme)
+	if !ok {
+		return fmt.Errorf("transport: no transport registered for scheme %q (have %v)", scheme, r.Schemes())
+	}
+	if p, ok := t.(Poster); ok {
+		return p.Post(ctx, req)
+	}
+	_, err := t.Call(ctx, req)
+	return err
 }
 
 // SchemeOf extracts the URI scheme of an endpoint ("" if malformed).

@@ -61,6 +61,7 @@ import (
 	"wspeer/internal/binding/p2psbind"
 	"wspeer/internal/core"
 	"wspeer/internal/engine"
+	"wspeer/internal/exchange"
 	"wspeer/internal/flow"
 	"wspeer/internal/p2ps"
 	"wspeer/internal/pipeline"
@@ -70,6 +71,7 @@ import (
 	"wspeer/internal/telemetry"
 	"wspeer/internal/transport"
 	"wspeer/internal/uddi"
+	"wspeer/internal/wsaddr"
 	"wspeer/internal/wsdl"
 )
 
@@ -347,6 +349,51 @@ type (
 // QueryKey canonicalizes a ServiceQuery into its resolution-cache
 // identity; queries with equal keys share a cache line.
 func QueryKey(q ServiceQuery) string { return core.QueryKey(q) }
+
+// The message-exchange layer (DESIGN.md §15): every invocation is a
+// correlated exchange of one-way messages (paper §IV-B). Plain Invoke is
+// the anonymous request/response fast path; Invocation.InvokeOneWay sends
+// fire-and-forget, and Invocation.InvokeCallback has the reply delivered
+// as a separate message to a client-hosted endpoint, correlated by
+// wsa:RelatesTo in a bounded table.
+type (
+	// ExchangeOptions configures the client side of the exchange layer;
+	// install with Client.ConfigureExchange.
+	ExchangeOptions = core.ExchangeOptions
+	// ExchangeTableOptions bounds the callback correlation table
+	// (capacity, TTL, duplicate-suppression window).
+	ExchangeTableOptions = exchange.TableOptions
+	// ExchangeTableStats is a point-in-time correlation-table counter
+	// snapshot (Client.ExchangeStats).
+	ExchangeTableStats = exchange.TableStats
+	// PendingReply is the application's handle on a callback
+	// invocation's decoupled reply (Invocation.InvokeCallback).
+	PendingReply = core.PendingReply
+	// ReplyEndpoint is a live client-hosted endpoint receiving decoupled
+	// replies — an HTTP callback route, a P2PS input pipe, a mem://
+	// handler.
+	ReplyEndpoint = core.ReplyEndpoint
+	// CallbackHoster marks invokers able to host a reply endpoint on
+	// their substrate, which is what enables InvokeCallback for their
+	// schemes.
+	CallbackHoster = core.CallbackHoster
+	// ExchangeExpiredError reports a callback whose reply did not arrive
+	// within its TTL.
+	ExchangeExpiredError = exchange.ExpiredError
+	// EndpointReference is a WS-Addressing endpoint reference.
+	EndpointReference = wsaddr.EndpointReference
+	// MessageHeaders is the WS-Addressing 2004 header block.
+	MessageHeaders = wsaddr.MessageHeaders
+)
+
+// AnonymousAddress is the WS-Addressing anonymous role URI: a ReplyTo of
+// this address means "respond on the transport back channel".
+const AnonymousAddress = wsaddr.Anonymous
+
+// NewEndpointReference returns an EPR for a plain address.
+func NewEndpointReference(address string) *EndpointReference {
+	return wsaddr.NewEndpointReference(address)
+}
 
 // Service definition and invocation payloads (messaging engine).
 type (
