@@ -5,9 +5,27 @@
 GO ?= go
 BENCH_BASELINE ?= bench_baseline.json
 
-.PHONY: all build vet test race bench bench-baseline bench-compare bench-throughput harness chaos examples loc clean check
+.PHONY: all help build vet test race bench bench-baseline bench-compare bench-throughput harness chaos examples loc clean check
 
 all: build vet test
+
+help:
+	@echo "WSPeer make targets:"
+	@echo "  check            vet + full test suite under -race (the pre-commit gate)"
+	@echo "  build/vet/test   the individual pieces of 'all'"
+	@echo "  bench            run every Go benchmark with -benchmem"
+	@echo "  bench-baseline   regenerate $(BENCH_BASELINE) (experiments A3+A4)."
+	@echo "                   The baseline is machine-specific: regenerate it on the"
+	@echo "                   machine that will run bench-compare, and regenerate it"
+	@echo "                   whenever an intentional perf change moves ns/op or"
+	@echo "                   allocs/op — allocs in particular are exact, so a stale"
+	@echo "                   baseline fails bench-compare on a one-alloc drift."
+	@echo "  bench-compare    re-measure and fail on >20% regression vs the baseline"
+	@echo "  bench-throughput throughput experiments (A4) in calls/sec"
+	@echo "  harness          regenerate every experiment table (E1-E10, A1-A4, R1, R2)"
+	@echo "  chaos            the deterministic chaos suite under -race"
+	@echo "  examples         run every example program once"
+	@echo "  loc              count lines of Go"
 
 # The pre-commit gate: static analysis plus the racy test suite.
 check:
@@ -65,6 +83,7 @@ examples:
 	$(GO) run ./examples/cactusmon
 	$(GO) run ./examples/catnets
 	$(GO) run ./examples/simulation -peers 300 -queries 50
+	$(GO) run ./examples/observability
 
 loc:
 	@find . -name '*.go' | xargs wc -l | tail -1

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"wspeer/internal/experiments"
+	"wspeer/internal/telemetry"
 )
 
 func main() {
@@ -32,6 +34,7 @@ func main() {
 	iters := flag.Int("iters", 2000, "iterations for microbenchmark experiments")
 	benchJSON := flag.String("benchjson", "", "write A3 fast-path benchmark results (allocs/op, ns/op) to this JSON file")
 	benchCompare := flag.String("bench-compare", "", "compare A3 results against this baseline JSON; exit non-zero on >20% regression")
+	snapshotJSON := flag.String("snapshot", "", "after the run, write the telemetry snapshot (counters, call table, flight-recorder stats) to this JSON file")
 	flag.Parse()
 
 	wanted := map[string]bool{}
@@ -165,6 +168,17 @@ func main() {
 			}
 			fmt.Printf("fast path within 20%% of baseline %s\n", *benchCompare)
 		}
+	}
+
+	if *snapshotJSON != "" {
+		doc := struct {
+			Telemetry telemetry.Snapshot      `json:"telemetry"`
+			Flight    telemetry.RecorderStats `json:"flight"`
+		}{telemetry.Default().Snapshot(), telemetry.Default().Flight.Stats()}
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		check(err)
+		check(os.WriteFile(*snapshotJSON, append(raw, '\n'), 0o644))
+		fmt.Printf("wrote %s\n", *snapshotJSON)
 	}
 
 	fmt.Printf("\nharness completed in %s\n", time.Since(start).Round(time.Millisecond))

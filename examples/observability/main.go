@@ -1,0 +1,177 @@
+// Command observability exercises the diagnostics egress (DESIGN.md
+// §16) end to end: it hosts a peer over real HTTP, drives mixed traffic
+// through it — fast calls, deliberate stragglers, injected faults — and
+// then walks the places the evidence landed: the Prometheus exposition,
+// the flight recorder, the structured log ring and the Chrome trace
+// dump, all joined by one trace ID per call.
+//
+// Run it with:
+//
+//	go run ./examples/observability
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"wspeer"
+	"wspeer/internal/engine"
+	"wspeer/internal/httpd"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Diagnostics on: buffer spans for the trace endpoint, log at info
+	// to stdout. Neither is required — the flight recorder and metrics
+	// are always on — but both enrich what follows.
+	wspeer.EnableTracing(2048)
+	wspeer.Telemetry().Log.SetLevel(wspeer.LogInfo)
+	wspeer.Telemetry().Log.SetOutput(os.Stdout)
+
+	// One self-contained setup: a registry node plus a peer that is both
+	// provider and consumer, services on a real HTTP listener.
+	registryHost := httpd.New(engine.New(), httpd.Options{})
+	defer registryHost.Close()
+	registryURL, err := registryHost.Deploy(wspeer.UDDIServiceDef(wspeer.NewUDDIRegistry()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	peer := wspeer.NewPeer()
+	binding, err := wspeer.NewHTTPBinding(wspeer.HTTPOptions{UDDIEndpoint: registryURL})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer binding.Close()
+	if err := peer.AttachBinding(binding); err != nil {
+		log.Fatal(err)
+	}
+
+	dep, err := peer.Server().DeployAndPublish(ctx, wspeer.ServiceDef{
+		Name: "Weather",
+		Operations: []wspeer.OperationDef{
+			{Name: "forecast", ParamNames: []string{"city"},
+				Func: func(city string) string { return "sunny in " + city }},
+			{Name: "slowForecast", ParamNames: []string{"city"},
+				Func: func(city string) string {
+					time.Sleep(40 * time.Millisecond) // a straggler the tail sampler must keep
+					return "eventually sunny in " + city
+				}},
+			{Name: "brokenForecast", ParamNames: []string{"city"},
+				Func: func(city string) (string, error) {
+					return "", errors.New("radar offline") // a fault the recorder must keep
+				}},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := strings.TrimSuffix(dep.Endpoint, "/services/Weather")
+	fmt.Println("peer serving at", base)
+
+	info, err := peer.Client().LocateOne(ctx, wspeer.NameQuery{Name: "Weather"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inv, err := peer.Client().NewInvocation(info)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Mixed traffic: mostly fast successes (sampled one-in-16), a few
+	// stragglers (kept as "slow") and a few faults (always kept).
+	fmt.Println("\n--- driving traffic: 400 fast, 6 slow, 4 faulted ---")
+	for i := 0; i < 400; i++ {
+		if _, err := inv.Invoke(ctx, "forecast", wspeer.P("city", "Cardiff")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := inv.Invoke(ctx, "slowForecast", wspeer.P("city", "Bergen")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := inv.Invoke(ctx, "brokenForecast", wspeer.P("city", "Atlantis")); err == nil {
+			log.Fatal("brokenForecast should fault")
+		}
+	}
+
+	// 1. Prometheus: every counter, gauge, histogram and the call table,
+	//    scrapeable as-is.
+	fmt.Println("\n--- GET", base+wspeer.MetricsPath, "(excerpt) ---")
+	for _, line := range strings.Split(fetch(base+wspeer.MetricsPath), "\n") {
+		if strings.HasPrefix(line, "wspeer_calls_total") ||
+			strings.HasPrefix(line, "wspeer_call_failures_total") ||
+			strings.HasPrefix(line, "wspeer_flight_") {
+			fmt.Println(line)
+		}
+	}
+
+	// 2. The flight recorder: ask the peer what went wrong lately.
+	fmt.Println("\n--- GET", base+wspeer.FlightPath+"?errors=1&limit=2 ---")
+	fmt.Println(fetch(base + wspeer.FlightPath + "?errors=1&limit=2"))
+
+	// The same data is queryable in-process, which is how the pieces
+	// join: a failed call's flight record, the warn log line the engine
+	// emitted, and the exported spans all share one trace ID.
+	failures := wspeer.Telemetry().Flight.Query(wspeer.FlightFilter{ErrorsOnly: true, Limit: 1})
+	if len(failures) == 1 {
+		f := failures[0]
+		fmt.Printf("--- correlating trace %016x ---\n", f.TraceID)
+		fmt.Printf("flight record: service=%s dir=%s class=%s err=%q retries=%d\n",
+			f.Service, f.Dir, f.ErrClass, f.Err, f.Retries)
+		for _, e := range wspeer.Telemetry().Log.Recent(0) {
+			if e.TraceID == f.TraceID {
+				fmt.Println("log line:     ", e.Format())
+			}
+		}
+		var spans int
+		for _, s := range wspeer.Telemetry().TraceRing().Spans() {
+			if s.TraceID == f.TraceID {
+				spans++
+			}
+		}
+		fmt.Printf("exported spans in that trace: %d (client invoke + server dispatch)\n", spans)
+	}
+
+	// 3. Slow calls: the tail sampler kept the stragglers without being
+	//    told what "slow" means — the threshold tracks the rolling p99.
+	slow := wspeer.Telemetry().Flight.Query(wspeer.FlightFilter{MinLatency: 20 * time.Millisecond})
+	fmt.Printf("\nstragglers retained: %d (threshold %s)\n",
+		len(slow), wspeer.Telemetry().Flight.Stats().SlowThreshold)
+
+	// 4. The Chrome trace: load this file in https://ui.perfetto.dev.
+	traceJSON := fetch(base + wspeer.TracePath)
+	out := "wspeer-trace.json"
+	if err := os.WriteFile(out, []byte(traceJSON), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(out)
+	fmt.Printf("\nwrote %s (%d bytes) — load it in https://ui.perfetto.dev or chrome://tracing\n",
+		out, len(traceJSON))
+
+	// 5. Health: ready now, 503 once draining.
+	fmt.Println("\n--- GET", base+wspeer.HealthPath, "---")
+	fmt.Println(fetch(base + wspeer.HealthPath))
+}
+
+func fetch(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return strings.TrimRight(string(body), "\n")
+}

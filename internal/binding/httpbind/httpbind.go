@@ -52,6 +52,9 @@ type Options struct {
 	// HTTP 503 + Retry-After, and closing the binding drains in-flight
 	// dispatches first (see httpd.Options.Admission).
 	Admission *resilience.Admission
+	// EnablePprof mounts net/http/pprof on the host's debug mux (see
+	// httpd.Options.EnablePprof). Off by default.
+	EnablePprof bool
 }
 
 // Binding bundles the standard implementation's components. The generic
@@ -87,6 +90,7 @@ func New(opts Options) (*Binding, error) {
 			Secret:          opts.Secret,
 			ShutdownTimeout: opts.ShutdownTimeout,
 			Admission:       opts.Admission,
+			EnablePprof:     opts.EnablePprof,
 		}),
 		categories: make(map[string][]uddi.KeyedReference),
 	}

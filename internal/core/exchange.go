@@ -187,6 +187,32 @@ func (c *Client) stampExchange(pc *pipeline.Call) {
 	})
 }
 
+// recordFlight offers one completed client-side call to the Default
+// hub's flight recorder, pulling the retry/hedge/pattern annotations the
+// pipeline stamped on the carrier. Sampling happens inside the recorder;
+// the sampled-out case allocates nothing, which keeps this safe on the
+// gated fast path.
+func recordFlight(c *pipeline.Call, span *telemetry.Span, start time.Time, elapsed time.Duration, endpoint string, err error) {
+	rec := telemetry.CallRecord{
+		Time:     start,
+		Service:  c.Service,
+		Op:       c.Op,
+		Dir:      telemetry.DirClient,
+		Endpoint: endpoint,
+		Latency:  elapsed,
+		Retries:  pipeline.RetryCount(c),
+		Hedges:   pipeline.HedgesLaunched(c),
+	}
+	if p, ok := c.GetMeta(exchange.MetaPattern).(exchange.Pattern); ok {
+		rec.Pattern = p.String()
+	}
+	if span != nil {
+		sc := span.Context()
+		rec.TraceID, rec.SpanID = sc.TraceID, sc.SpanID
+	}
+	telemetry.Default().Flight.Record(rec, err)
+}
+
 // newExchangeCall builds the pipeline carrier for an exchange-layer
 // invocation against the primary target, mirroring Invoke's setup.
 func (inv *Invocation) newExchangeCall(span *telemetry.Span, op string) *pipeline.Call {
@@ -220,7 +246,9 @@ func (inv *Invocation) InvokeOneWay(ctx context.Context, op string, params ...en
 		_, err := invokeTarget(c, primary, op, params)
 		return err
 	})
-	telemetry.Default().Calls.Record(primary.svc.Name, telemetry.DirClient, time.Since(start), err != nil)
+	elapsed := time.Since(start)
+	telemetry.Default().Calls.Record(primary.svc.Name, telemetry.DirClient, elapsed, err != nil)
+	recordFlight(c, span, start, elapsed, primary.svc.Endpoint, err)
 	if span != nil {
 		span.SetError(err)
 		span.End()
@@ -309,7 +337,9 @@ func (inv *Invocation) InvokeCallback(ctx context.Context, op string, params ...
 		_, err := invokeTarget(c, primary, op, params)
 		return err
 	})
-	telemetry.Default().Calls.Record(primary.svc.Name, telemetry.DirClient, time.Since(start), err != nil)
+	elapsed := time.Since(start)
+	telemetry.Default().Calls.Record(primary.svc.Name, telemetry.DirClient, elapsed, err != nil)
+	recordFlight(c, span, start, elapsed, primary.svc.Endpoint, err)
 	if span != nil {
 		span.SetError(err)
 		span.End()

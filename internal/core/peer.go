@@ -528,7 +528,9 @@ func (inv *Invocation) Invoke(ctx context.Context, op string, params ...engine.P
 			return err
 		})
 	}
-	telemetry.Default().Calls.Record(primary.svc.Name, telemetry.DirClient, time.Since(start), err != nil)
+	elapsed := time.Since(start)
+	telemetry.Default().Calls.Record(primary.svc.Name, telemetry.DirClient, elapsed, err != nil)
+	recordFlight(c, span, start, elapsed, primary.svc.Endpoint, err)
 	if span != nil {
 		span.SetError(err)
 		span.End()

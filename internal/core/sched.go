@@ -187,6 +187,8 @@ func (s *scheduler) runTask(t schedTask) {
 func (s *scheduler) refuse(t schedTask, reason string, cause error) {
 	s.shed.Add(1)
 	mSchedShed.Inc()
+	telemetry.Default().Log.Warn(t.ctx, "core: scheduler shed invocation",
+		"reason", reason, "queued", len(s.queue))
 	if t.reject != nil {
 		err := resilience.NewOverloadError(reason, s.opts.RetryAfter, cause)
 		go t.reject(err)

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"time"
 
+	"wspeer/internal/exchange"
 	"wspeer/internal/pipeline"
 	"wspeer/internal/soap"
 	"wspeer/internal/telemetry"
@@ -207,7 +208,29 @@ func (e *Engine) ServeRequest(ctx context.Context, serviceName string, req *tran
 	}
 	start := time.Now()
 	err := e.pipe.Run(c, e.serveCall)
-	telemetry.Default().Calls.Record(serviceName, telemetry.DirServer, time.Since(start), err != nil || (c.Response != nil && c.Response.Faulted))
+	elapsed := time.Since(start)
+	faulted := c.Response != nil && c.Response.Faulted
+	telemetry.Default().Calls.Record(serviceName, telemetry.DirServer, elapsed, err != nil || faulted)
+	rec := telemetry.CallRecord{
+		Time:    start,
+		Service: serviceName,
+		Op:      c.Op,
+		Dir:     telemetry.DirServer,
+		Latency: elapsed,
+	}
+	if faulted && err == nil {
+		// A fault envelope is a failed call even though the pipeline
+		// returned cleanly; classify it ourselves so the recorder keeps it.
+		rec.ErrClass = telemetry.ClassFault
+	}
+	if p, ok := c.GetMeta(exchange.MetaPattern).(exchange.Pattern); ok {
+		rec.Pattern = p.String()
+	}
+	if span != nil {
+		sc := span.Context()
+		rec.TraceID, rec.SpanID = sc.TraceID, sc.SpanID
+	}
+	telemetry.Default().Flight.Record(rec, err)
 	if span != nil {
 		span.SetOp(c.Op) // resolved mid-terminal, so read it after the run
 		span.SetError(err)
@@ -259,12 +282,17 @@ func (e *Engine) serveCall(c *pipeline.Call) error {
 	if oneWay {
 		e.nOneWay.Add(1)
 		mEngineOneWay.Inc()
+		c.SetMeta(exchange.MetaPattern, exchange.OneWay)
 		c.Response = &transport.Response{}
 		return nil
 	}
 	if fault != nil {
 		e.nFaults.Add(1)
 		mEngineFaults.Inc()
+		// c.Ctx carries the dispatch span's identity, so this line joins
+		// the same trace as the span and the flight record.
+		telemetry.Default().Log.Warn(c.Ctx, "engine: dispatch answered with fault",
+			"service", c.Service, "op", c.Op, "code", fault.Code.Local, "fault", fault.String)
 		respEnv = soap.NewEnvelopeV(version).SetFault(fault)
 	}
 	if target := replyTarget(hdr, respEnv.IsFault()); target != nil && target.Address != wsaddr.Anonymous {
@@ -272,6 +300,7 @@ func (e *Engine) serveCall(c *pipeline.Call) error {
 			if e.sendDecoupledReply(c.Ctx, hdr, target, respEnv, sender) == nil {
 				// Reply delivered out-of-band: the request connection gets
 				// only the transport-level ack (hosts answer 202 Accepted).
+				c.SetMeta(exchange.MetaPattern, exchange.Callback)
 				c.Response = &transport.Response{}
 				return nil
 			}

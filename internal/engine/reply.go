@@ -103,6 +103,8 @@ func (e *Engine) sendDecoupledReply(ctx context.Context, req *wsaddr.MessageHead
 	}
 	if err := sender.SendReply(ctx, target, msg); err != nil {
 		mExchangeReplyFailed.Inc()
+		telemetry.Default().Log.Warn(ctx, "engine: decoupled reply delivery failed, falling back to back channel",
+			"endpoint", target.Address, "action", action, "err", err)
 		return err
 	}
 	mExchangeReplyOut.Inc()

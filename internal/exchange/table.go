@@ -215,11 +215,15 @@ func (t *Table) Resolve(relatesTo string, msg *Message) Outcome {
 			t.duplicates++
 			t.mu.Unlock()
 			t.duplicateCtr.Inc()
+			telemetry.Default().Log.Info(nil, "exchange: duplicate reply dropped",
+				"relates_to", relatesTo)
 			return Duplicate
 		}
 		t.orphans++
 		t.mu.Unlock()
 		t.orphanCtr.Inc()
+		telemetry.Default().Log.Warn(nil, "exchange: orphan reply, no pending exchange",
+			"relates_to", relatesTo)
 		return Orphan
 	}
 	delete(t.entries, relatesTo)
@@ -270,6 +274,8 @@ func (t *Table) expire(messageID string, ttl time.Duration) {
 
 	t.inflightGauge.Add(-1)
 	t.expiredCtr.Inc()
+	telemetry.Default().Log.Warn(nil, "exchange: pending exchange expired, reply never arrived",
+		"message_id", messageID, "ttl", ttl)
 	e.f.complete(nil, &ExpiredError{MessageID: messageID, TTL: ttl})
 }
 

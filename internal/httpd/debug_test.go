@@ -1,0 +1,275 @@
+package httpd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"wspeer/internal/engine"
+	"wspeer/internal/telemetry"
+)
+
+// debugBase derives the host's base URL from a deployed service endpoint.
+func debugBase(t *testing.T, h *Host) string {
+	t.Helper()
+	ep := h.Endpoint("Echo")
+	if ep == "" {
+		t.Fatal("no Echo endpoint; deploy before calling debugBase")
+	}
+	return strings.TrimSuffix(ep, "/services/Echo")
+}
+
+func getBody(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	h := newHost(t, Options{})
+	if _, err := h.Deploy(echoDef()); err != nil {
+		t.Fatal(err)
+	}
+	stub := stubFor(t, h, "Echo", nil)
+	if _, err := stub.Invoke(context.Background(), "echoString", engine.P("msg", "x")); err != nil {
+		t.Fatal(err)
+	}
+
+	code, ctype, body := getBody(t, debugBase(t, h)+MetricsPath)
+	if code != http.StatusOK {
+		t.Fatalf("GET %s = %d", MetricsPath, code)
+	}
+	if ctype != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("metrics content-type = %q", ctype)
+	}
+	if !strings.Contains(body, "# TYPE wspeer_") {
+		t.Fatalf("no wspeer metric families in exposition:\n%s", body)
+	}
+	// Minimal format check: every sample line is `name[{labels}] value`.
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) < 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if !strings.HasPrefix(line, "wspeer_") {
+			t.Fatalf("unprefixed metric %q", line)
+		}
+	}
+	// The server dispatch above must be visible in the call table family.
+	if !strings.Contains(body, `wspeer_calls_total{service="Echo",dir="server"}`) {
+		t.Fatalf("call table family missing:\n%s", body)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	ring := telemetry.Default().EnableTracing(128)
+	defer telemetry.Default().Tracer.SetSink(nil)
+	_ = ring
+
+	h := newHost(t, Options{})
+	if _, err := h.Deploy(echoDef()); err != nil {
+		t.Fatal(err)
+	}
+	stub := stubFor(t, h, "Echo", nil)
+	if _, err := stub.Invoke(context.Background(), "echoString", engine.P("msg", "traced")); err != nil {
+		t.Fatal(err)
+	}
+
+	code, ctype, body := getBody(t, debugBase(t, h)+TracePath)
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("GET %s = %d %q", TracePath, code, ctype)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("trace endpoint is not valid JSON: %v", err)
+	}
+	var sawDispatch bool
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" && ev["cat"] == "server" {
+			sawDispatch = true
+		}
+	}
+	if !sawDispatch {
+		t.Fatalf("no server dispatch span in trace dump (%d events)", len(doc.TraceEvents))
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	h := newHost(t, Options{})
+	if _, err := h.Deploy(echoDef()); err != nil {
+		t.Fatal(err)
+	}
+	code, ctype, body := getBody(t, debugBase(t, h)+HealthPath)
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("GET %s = %d %q", HealthPath, code, ctype)
+	}
+	var st healthStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "ok" || !st.Live || !st.Ready || st.Services != 1 {
+		t.Fatalf("healthy host reported %+v", st)
+	}
+
+	// Flip the host into draining and probe the handler directly: over the
+	// wire the listener may already be gone by the time Close returns.
+	h.mu.Lock()
+	h.closed = true
+	h.mu.Unlock()
+	rec := httptest.NewRecorder()
+	h.handleHealth(rec, httptest.NewRequest(http.MethodGet, HealthPath, nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining host answered %d, want 503", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "draining" || st.Ready || !st.Live {
+		t.Fatalf("draining host reported %+v", st)
+	}
+	h.mu.Lock()
+	h.closed = false
+	h.mu.Unlock()
+}
+
+func TestFlightEndpoint(t *testing.T) {
+	h := newHost(t, Options{})
+	def := echoDef()
+	def.Operations = append(def.Operations, engine.OperationDef{
+		Name: "fail", Func: func(s string) (string, error) { return "", errors.New("kaboom") }, ParamNames: []string{"msg"},
+	})
+	if _, err := h.Deploy(def); err != nil {
+		t.Fatal(err)
+	}
+	stub := stubFor(t, h, "Echo", nil)
+	if _, err := stub.Invoke(context.Background(), "echoString", engine.P("msg", "ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stub.Invoke(context.Background(), "fail", engine.P("msg", "x")); err == nil {
+		t.Fatal("fail op should fault")
+	}
+
+	base := debugBase(t, h)
+	code, ctype, body := getBody(t, base+FlightPath+"?service=Echo&dir=server&errors=1")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("GET %s = %d %q", FlightPath, code, ctype)
+	}
+	var doc flightDocument
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Stats.Seen == 0 {
+		t.Fatal("flight recorder saw nothing")
+	}
+	var sawFault bool
+	for _, r := range doc.Records {
+		if r.Service != "Echo" || r.Dir != telemetry.DirServer || r.ErrClass == "" {
+			t.Fatalf("filtered query returned non-matching record %+v", r)
+		}
+		if r.ErrClass == telemetry.ClassFault {
+			sawFault = true
+		}
+	}
+	if !sawFault {
+		t.Fatalf("faulted dispatch not retained: %+v", doc.Records)
+	}
+
+	// Bad query parameters answer 400, not 500 or silence.
+	for _, q := range []string{"?trace=zz", "?min_latency=fast", "?limit=-2", "?limit=x"} {
+		resp, err := http.Get(base + FlightPath + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s%s = %d, want 400", FlightPath, q, resp.StatusCode)
+		}
+	}
+}
+
+func TestPprofOptIn(t *testing.T) {
+	off := newHost(t, Options{})
+	if _, err := off.Deploy(echoDef()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(debugBase(t, off) + PprofPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof reachable without opting in")
+	}
+
+	on := newHost(t, Options{EnablePprof: true})
+	if _, err := on.Deploy(echoDef()); err != nil {
+		t.Fatal(err)
+	}
+	code, _, body := getBody(t, debugBase(t, on)+PprofPath)
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index with opt-in = %d", code)
+	}
+}
+
+func TestDebugEndpointsConcurrent(t *testing.T) {
+	h := newHost(t, Options{})
+	if _, err := h.Deploy(echoDef()); err != nil {
+		t.Fatal(err)
+	}
+	stub := stubFor(t, h, "Echo", nil)
+	base := debugBase(t, h)
+	paths := []string{DebugPath, MetricsPath, TracePath, HealthPath, FlightPath + "?errors=1"}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := stub.Invoke(context.Background(), "echoString", engine.P("msg", fmt.Sprint(i))); err != nil {
+					t.Errorf("invoke: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < len(paths); g++ {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				resp, err := http.Get(base + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s = %d under load", path, resp.StatusCode)
+					return
+				}
+			}
+		}(paths[g])
+	}
+	wg.Wait()
+}

@@ -90,6 +90,11 @@ type Options struct {
 	// and drained by Close: requests the controller sheds are answered
 	// with a SOAP Server fault on HTTP 503 plus a Retry-After header.
 	Admission *resilience.Admission
+	// EnablePprof mounts net/http/pprof under PprofPath on the same
+	// debug mux. Off by default: profiling endpoints expose more about
+	// the process than operational counters do, so the application must
+	// opt in.
+	EnablePprof bool
 }
 
 // Host exposes an engine's services over HTTP without a container.
@@ -278,7 +283,7 @@ func (h *Host) ensureStarted() error {
 	mux := http.NewServeMux()
 	mux.HandleFunc(BasePath, h.handle)
 	mux.HandleFunc(CallbackPath, h.handleCallback)
-	mux.HandleFunc(DebugPath, h.handleDebug)
+	h.registerDebug(mux)
 	mux.HandleFunc("/", h.handleIndex)
 	h.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	go h.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
@@ -291,13 +296,18 @@ func (h *Host) ensureStarted() error {
 // installed the host drains first: new dispatches are shed (503) while
 // accepted ones run to completion, then the listener goes down.
 func (h *Host) Close() error {
+	// Flip the closed flag under the lock but drain outside it, so the
+	// health endpoint can report "draining" (and in-flight requests can
+	// finish) while Close waits.
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.closed = true
 	if !h.started {
+		h.mu.Unlock()
 		return nil
 	}
 	h.started = false
+	srv := h.srv
+	h.mu.Unlock()
 	ctx, cancel := context.WithTimeout(context.Background(), h.opts.ShutdownTimeout)
 	defer cancel()
 	var errs []error
@@ -306,7 +316,7 @@ func (h *Host) Close() error {
 			errs = append(errs, err)
 		}
 	}
-	if err := h.srv.Shutdown(ctx); err != nil {
+	if err := srv.Shutdown(ctx); err != nil {
 		errs = append(errs, err)
 	}
 	return errors.Join(errs...)
@@ -413,6 +423,8 @@ func (h *Host) handle(w http.ResponseWriter, r *http.Request) {
 		resp, handled, err = interceptor(service, req)
 		if err != nil {
 			mHostFaults.Inc()
+			telemetry.Default().Log.Warn(ctx, "httpd: interceptor failed request",
+				"service", service, "err", err)
 			writeFault(w, soap.ServerFault(err))
 			return
 		}
@@ -421,11 +433,15 @@ func (h *Host) handle(w http.ResponseWriter, r *http.Request) {
 		resp, err = h.eng.ServeRequest(ctx, service, req)
 		if err != nil {
 			if o, ok := resilience.AsOverload(err); ok {
+				// Admission already logged the shed with this ctx's trace;
+				// only count the HTTP-level outcome here.
 				mHostOverloads.Inc()
 				writeOverload(w, o)
 				return
 			}
 			mHostFaults.Inc()
+			telemetry.Default().Log.Warn(ctx, "httpd: dispatch failed, answering with fault",
+				"service", service, "err", err)
 			writeFault(w, soap.ServerFault(err))
 			return
 		}
@@ -451,11 +467,12 @@ func (h *Host) handle(w http.ResponseWriter, r *http.Request) {
 
 // debugSnapshot is the JSON document served at DebugPath.
 type debugSnapshot struct {
-	Telemetry telemetry.Snapshot `json:"telemetry"`
-	Engine    engine.Stats       `json:"engine"`
-	Admission any                `json:"admission,omitempty"`
-	Overload  overloadDebug      `json:"overload"`
-	Services  []string           `json:"services"`
+	Telemetry telemetry.Snapshot      `json:"telemetry"`
+	Engine    engine.Stats            `json:"engine"`
+	Admission any                     `json:"admission,omitempty"`
+	Overload  overloadDebug           `json:"overload"`
+	Flight    telemetry.RecorderStats `json:"flight"`
+	Services  []string                `json:"services"`
 }
 
 // overloadDebug surfaces the cooperative overload-control state — the
@@ -486,6 +503,7 @@ func (h *Host) handleDebug(w http.ResponseWriter, r *http.Request) {
 	snap := debugSnapshot{
 		Telemetry: telemetry.Default().Snapshot(),
 		Engine:    h.eng.Stats(),
+		Flight:    telemetry.Default().Flight.Stats(),
 		Services:  names,
 	}
 	snap.Overload = overloadDebug{

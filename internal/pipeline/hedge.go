@@ -26,6 +26,19 @@ func HedgeAttempt(c *Call) int {
 	return v
 }
 
+// MetaHedges is the Meta key counting the hedge attempts a logical call
+// launched beyond its primary (int; absent when it never hedged). Hedge
+// stamps it on the shared carrier as the race settles; the flight
+// recorder reads it back through HedgesLaunched.
+const MetaHedges = "pipeline.hedge.count"
+
+// HedgesLaunched returns how many hedge attempts the call launched (0
+// for unhedged calls).
+func HedgesLaunched(c *Call) int {
+	v, _ := c.GetMeta(MetaHedges).(int)
+	return v
+}
+
 // HedgeOptions tunes the Hedge interceptor.
 type HedgeOptions struct {
 	// Threshold is how long the primary attempt may run before a hedge is
@@ -165,6 +178,9 @@ func runHedged(c *Call, next CallFunc, threshold time.Duration, opts HedgeOption
 				continue
 			}
 			c.SetMeta(k, v)
+		}
+		if launched > 1 {
+			c.SetMeta(MetaHedges, launched-1)
 		}
 		if res.err == nil && res.attempt > 0 {
 			mHedgeWins.Inc()

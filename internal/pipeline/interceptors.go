@@ -55,6 +55,18 @@ func callBudget(c *Call, configured RetryBudget) RetryBudget {
 	return b
 }
 
+// MetaRetries is the Meta key counting retransmissions beyond a call's
+// first attempt (int; absent until the first retransmission). Retry
+// stamps it, the flight recorder reads it back through RetryCount.
+const MetaRetries = "pipeline.retry.count"
+
+// RetryCount returns how many times the call was retransmitted (0 when
+// it succeeded or failed on the first attempt).
+func RetryCount(c *Call) int {
+	v, _ := c.GetMeta(MetaRetries).(int)
+	return v
+}
+
 // MetaIdempotent is the Meta key that marks a call as safe to retry. The
 // stock Retry interceptor's default policy only retransmits calls carrying
 // it (see Idempotent); callers that know better supply their own Retryable.
@@ -222,6 +234,10 @@ func Retry(opts RetryOptions) Interceptor {
 					return err
 				}
 				mRetryRetries.Inc()
+				// Count of retransmissions beyond the first attempt, read by
+				// the flight recorder when the logical call completes. Small
+				// ints box without allocating, and this is the cold path.
+				c.SetMeta(MetaRetries, attempt)
 				if c.Span != nil {
 					c.Span.Annotatef("retry: attempt %d failed: %v", attempt, err)
 				}

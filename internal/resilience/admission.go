@@ -115,6 +115,9 @@ func (e *OverloadError) Error() string {
 	return fmt.Sprintf("resilience: server overloaded (%s), retry after %s", e.Reason, e.RetryAfter)
 }
 
+// ErrorClass classifies sheds for the telemetry flight recorder.
+func (e *OverloadError) ErrorClass() string { return "overload" }
+
 // Unwrap exposes the underlying cause (a context error for expired
 // queue waits), so errors.Is(err, context.DeadlineExceeded) still works.
 func (e *OverloadError) Unwrap() error { return e.cause }
@@ -261,7 +264,7 @@ func (a *Admission) Acquire(ctx context.Context) error {
 // waited in the queue (0 on the uncontended fast path).
 func (a *Admission) admit(ctx context.Context) (time.Duration, error) {
 	if a.draining.Load() {
-		return 0, a.refuse("draining", nil)
+		return 0, a.refuse(ctx, "draining", nil)
 	}
 	select {
 	case a.sem <- struct{}{}:
@@ -275,7 +278,7 @@ func (a *Admission) admit(ctx context.Context) (time.Duration, error) {
 	for {
 		n := a.queued.Load()
 		if n >= int64(a.opts.MaxQueue) {
-			return 0, a.refuse("queue full", nil)
+			return 0, a.refuse(ctx, "queue full", nil)
 		}
 		if a.queued.CompareAndSwap(n, n+1) {
 			break
@@ -298,16 +301,16 @@ func (a *Admission) admit(ctx context.Context) (time.Duration, error) {
 	case a.sem <- struct{}{}:
 		if a.draining.Load() {
 			<-a.sem
-			return 0, a.refuse("draining", nil)
+			return 0, a.refuse(ctx, "draining", nil)
 		}
 		a.admitted.Add(1)
 		mAdmAdmitted.Inc()
 		gAdmInflight.Add(1)
 		return time.Since(start), nil
 	case <-ctx.Done():
-		return 0, a.refuse("deadline expired while queued", ctx.Err())
+		return 0, a.refuse(ctx, "deadline expired while queued", ctx.Err())
 	case <-timeout:
-		return 0, a.refuse("queue timeout", nil)
+		return 0, a.refuse(ctx, "queue timeout", nil)
 	}
 }
 
@@ -441,10 +444,15 @@ func (a *Admission) retryAfterHint() time.Duration {
 	return hint
 }
 
-func (a *Admission) refuse(reason string, cause error) error {
+func (a *Admission) refuse(ctx context.Context, reason string, cause error) error {
 	a.shed.Add(1)
 	mAdmShed.Inc()
-	return &OverloadError{Reason: reason, RetryAfter: a.retryAfterHint(), cause: cause}
+	err := &OverloadError{Reason: reason, RetryAfter: a.retryAfterHint(), cause: cause}
+	// ctx carries the caller's trace identity when the request arrived
+	// with a trace header, so the shed log line joins the caller's trace.
+	telemetry.Default().Log.Warn(ctx, "resilience: admission shed request",
+		"reason", reason, "retry_after", err.RetryAfter)
+	return err
 }
 
 // Stats returns a point-in-time snapshot of the controller.

@@ -245,14 +245,18 @@ func (b *Breaker) transition(to BreakerState) func() {
 	}
 	onChange := b.opts.OnChange
 	return func() {
+		log := telemetry.Default().Log
 		switch to {
 		case BreakerOpen:
 			mBreakerOpened.Inc()
 			gBreakerOpen.Add(1)
+			log.Warn(nil, "resilience: breaker opened", "endpoint", b.endpoint, "from", from)
 		case BreakerHalfOpen:
 			mBreakerHalfOpen.Inc()
+			log.Info(nil, "resilience: breaker half-open, probing", "endpoint", b.endpoint)
 		case BreakerClosed:
 			mBreakerClosed.Inc()
+			log.Info(nil, "resilience: breaker closed", "endpoint", b.endpoint)
 		}
 		if from == BreakerOpen {
 			gBreakerOpen.Add(-1)

@@ -106,3 +106,6 @@ type BreakerOpenError struct {
 func (e *BreakerOpenError) Error() string {
 	return fmt.Sprintf("resilience: circuit open for endpoint %s", e.Endpoint)
 }
+
+// ErrorClass classifies refusals for the telemetry flight recorder.
+func (e *BreakerOpenError) ErrorClass() string { return "breaker-open" }

@@ -362,6 +362,9 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("soap fault [%s]: %s", f.Code.Local, f.String)
 }
 
+// ErrorClass classifies faults for the telemetry flight recorder.
+func (f *Fault) ErrorClass() string { return "fault" }
+
 // IsClient reports whether the fault blames the sender.
 func (f *Fault) IsClient() bool { return f.Code == FaultClient }
 

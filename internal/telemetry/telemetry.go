@@ -22,10 +22,13 @@
 // The process-wide Hub is Default(); isolated hubs (New) exist for tests.
 package telemetry
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
-// Hub bundles the spine's three primitives. Layers emit through the
-// Default hub; tests that need isolation construct their own with New.
+// Hub bundles the spine's primitives. Layers emit through the Default
+// hub; tests that need isolation construct their own with New.
 type Hub struct {
 	// Tracer produces spans (disabled until a sink is attached).
 	Tracer *Tracer
@@ -33,12 +36,44 @@ type Hub struct {
 	Meter *Meter
 	// Calls is the always-on per-service call table.
 	Calls *CallTable
+	// Flight is the always-on flight recorder of completed calls.
+	Flight *Recorder
+	// Log is the spine's structured leveled logger.
+	Log *Logger
+
+	// traceRing remembers the ring installed by EnableTracing so the
+	// trace endpoint can find recent spans.
+	traceRing atomic.Pointer[SpanRing]
 }
 
-// New returns an isolated hub (no sink attached, empty registries).
+// New returns an isolated hub (no sink attached, empty registries, a
+// default-sampled flight recorder and a Warn-level logger with no
+// external sink).
 func New() *Hub {
-	return &Hub{Tracer: NewTracer(), Meter: NewMeter(), Calls: NewCallTable()}
+	return &Hub{
+		Tracer: NewTracer(),
+		Meter:  NewMeter(),
+		Calls:  NewCallTable(),
+		Flight: NewRecorder(RecorderOptions{}),
+		Log:    NewLogger(),
+	}
 }
+
+// EnableTracing attaches a bounded SpanRing as the tracer's sink and
+// remembers it so /debug/wspeer/trace can serve recent spans. capacity
+// <= 0 takes the SpanRing default. Calling it again replaces the ring;
+// SetSink with a custom sink leaves the remembered ring stale, so prefer
+// one mechanism per process.
+func (h *Hub) EnableTracing(capacity int) *SpanRing {
+	ring := NewSpanRing(capacity)
+	h.traceRing.Store(ring)
+	h.Tracer.SetSink(ring)
+	return ring
+}
+
+// TraceRing returns the ring installed by EnableTracing (nil before the
+// first call).
+func (h *Hub) TraceRing() *SpanRing { return h.traceRing.Load() }
 
 // std is the process-wide hub every layer's package-level instrument
 // handles bind to.

@@ -1,0 +1,137 @@
+package wspeer_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"wspeer"
+)
+
+// TestFaultCorrelation proves the diagnostics egress joins up: one
+// injected fault, invoked over the real HTTP binding with tracing
+// enabled, must be findable afterwards as (1) a client and a server
+// flight record, (2) a warn-level log line, and (3) exported spans — all
+// sharing one trace ID.
+func TestFaultCorrelation(t *testing.T) {
+	ctx := context.Background()
+	registryURL := startRegistry(t)
+
+	ring := wspeer.EnableTracing(256)
+	t.Cleanup(func() { wspeer.Telemetry().Tracer.SetSink(nil) })
+
+	peer := wspeer.NewPeer()
+	hb, err := wspeer.NewHTTPBinding(wspeer.HTTPOptions{UDDIEndpoint: registryURL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hb.Close() })
+	if err := peer.AttachBinding(hb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := peer.Server().DeployAndPublish(ctx, wspeer.ServiceDef{
+		Name: "CorrelatedFault",
+		Operations: []wspeer.OperationDef{{
+			Name:       "explode",
+			Func:       func(s string) (string, error) { return "", errors.New("injected failure") },
+			ParamNames: []string{"msg"},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := peer.Client().LocateOne(ctx, wspeer.NameQuery{Name: "CorrelatedFault"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := peer.Client().NewInvocation(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inv.Invoke(ctx, "explode", wspeer.P("msg", "x")); err == nil {
+		t.Fatal("explode should fault")
+	}
+
+	// (1) The flight recorder kept both sides of the failed call — errors
+	// are never sampled out — and both carry the same trace.
+	flight := wspeer.Telemetry().Flight
+	cli := flight.Query(wspeer.FlightFilter{Service: "CorrelatedFault", Dir: "client", ErrorsOnly: true})
+	if len(cli) != 1 {
+		t.Fatalf("client flight records = %d, want 1: %+v", len(cli), cli)
+	}
+	traceID := cli[0].TraceID
+	if traceID == 0 {
+		t.Fatal("client flight record has no trace ID with tracing enabled")
+	}
+	if cli[0].ErrClass != "fault" {
+		t.Fatalf("client record class = %q, want fault", cli[0].ErrClass)
+	}
+	srv := flight.Query(wspeer.FlightFilter{Service: "CorrelatedFault", Dir: "server", TraceID: traceID})
+	if len(srv) != 1 || srv[0].ErrClass != "fault" {
+		t.Fatalf("server flight record for trace %x: %+v", traceID, srv)
+	}
+
+	// (2) The engine's warn log line for the faulted dispatch carries the
+	// same trace ID, stamped from the dispatch context.
+	var logged *wspeer.LogEntry
+	for _, e := range wspeer.Telemetry().Log.Recent(0) {
+		if e.TraceID == traceID && strings.Contains(e.Msg, "fault") {
+			logged = &e
+			break
+		}
+	}
+	if logged == nil {
+		t.Fatalf("no log line for trace %016x in %d recent entries", traceID, len(wspeer.Telemetry().Log.Recent(0)))
+	}
+	if !strings.Contains(logged.Format(), "service=CorrelatedFault") {
+		t.Fatalf("log line lacks the service: %s", logged.Format())
+	}
+
+	// (3) The exported trace has both spans of that trace, and the Chrome
+	// dump renders them as events tagged with the same trace id.
+	var spanCount int
+	for _, d := range ring.Spans() {
+		if d.TraceID == traceID {
+			spanCount++
+		}
+	}
+	if spanCount < 2 {
+		t.Fatalf("exported spans in trace %016x = %d, want client + server", traceID, spanCount)
+	}
+	var buf bytes.Buffer
+	if err := wspeer.WriteChromeTrace(&buf, ring.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Phase string `json:"ph"`
+			Args  struct {
+				TraceID string `json:"trace_id"`
+				Service string `json:"service"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace not parseable: %v", err)
+	}
+	var exported int
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "X" && ev.Args.Service == "CorrelatedFault" {
+			exported++
+		}
+	}
+	if exported < 2 {
+		t.Fatalf("chrome trace events for the faulted call = %d, want >= 2", exported)
+	}
+
+	// And the Prometheus exposition reflects the failure.
+	buf.Reset()
+	if err := wspeer.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `wspeer_call_failures_total{service="CorrelatedFault",dir="server"} 1`) {
+		t.Fatal("failure not visible in Prometheus exposition")
+	}
+}

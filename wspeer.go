@@ -53,6 +53,7 @@
 package wspeer
 
 import (
+	"io"
 	"time"
 
 	"wspeer/internal/binding"
@@ -63,6 +64,7 @@ import (
 	"wspeer/internal/engine"
 	"wspeer/internal/exchange"
 	"wspeer/internal/flow"
+	"wspeer/internal/httpd"
 	"wspeer/internal/p2ps"
 	"wspeer/internal/pipeline"
 	"wspeer/internal/resilience"
@@ -185,6 +187,46 @@ type (
 	SpanCollector = telemetry.Collector
 	// CallSnapshot is one service+direction row of the spine's call table.
 	CallSnapshot = telemetry.CallSnapshot
+	// SpanRing is a bounded ring of ended spans backing the Chrome trace
+	// export; attach one with EnableTracing.
+	SpanRing = telemetry.SpanRing
+	// FlightRecord is one completed call retained by the flight recorder.
+	FlightRecord = telemetry.CallRecord
+	// FlightRecorder is the always-on, tail-sampled ring of completed
+	// calls at Telemetry().Flight.
+	FlightRecorder = telemetry.Recorder
+	// FlightFilter selects flight records in FlightRecorder.Query.
+	FlightFilter = telemetry.RecordFilter
+	// FlightStats is the recorder's sampling counters.
+	FlightStats = telemetry.RecorderStats
+	// Logger is the spine's structured, leveled logger at Telemetry().Log.
+	Logger = telemetry.Logger
+	// LogEntry is one structured log line.
+	LogEntry = telemetry.LogEntry
+	// LogLevel orders log severities.
+	LogLevel = telemetry.Level
+	// LogSink receives emitted log entries (attach with Logger.SetSink).
+	LogSink = telemetry.LogSink
+)
+
+// Log levels for Telemetry().Log.SetLevel.
+const (
+	LogDebug = telemetry.LevelDebug
+	LogInfo  = telemetry.LevelInfo
+	LogWarn  = telemetry.LevelWarn
+	LogError = telemetry.LevelError
+	LogOff   = telemetry.LevelOff
+)
+
+// Diagnostics endpoints an HTTP host serves alongside its services; see
+// DESIGN.md §16. MetricsPath is Prometheus text exposition, TracePath is
+// Chrome trace-event JSON (load into ui.perfetto.dev), HealthPath is a
+// liveness/readiness probe, FlightPath queries the flight recorder.
+const (
+	MetricsPath = httpd.MetricsPath
+	TracePath   = httpd.TracePath
+	HealthPath  = httpd.HealthPath
+	FlightPath  = httpd.FlightPath
 )
 
 // Telemetry returns the process-wide telemetry hub every layer records
@@ -200,6 +242,25 @@ func Snapshot() TelemetrySnapshot { return telemetry.Default().Snapshot() }
 // NewSpanCollector returns a bounded in-memory span sink (default
 // capacity 4096 for capacity <= 0).
 func NewSpanCollector(capacity int) *SpanCollector { return telemetry.NewCollector(capacity) }
+
+// EnableTracing attaches a bounded span ring (default capacity 2048 for
+// capacity <= 0) to the process-wide tracer and returns it. Once enabled,
+// an HTTP host serves the buffered spans as Chrome trace-event JSON at
+// TracePath, and WriteChromeTrace renders them to any writer.
+func EnableTracing(capacity int) *SpanRing { return telemetry.Default().EnableTracing(capacity) }
+
+// WritePrometheus renders the process-wide telemetry — counters, gauges,
+// histograms, the call table and flight-recorder stats — in Prometheus
+// text exposition format. The same document is served at MetricsPath by
+// an HTTP host.
+func WritePrometheus(w io.Writer) error { return telemetry.Default().WritePrometheus(w) }
+
+// WriteChromeTrace renders spans as Chrome trace-event JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev. Pass a SpanRing's Spans()
+// or a SpanCollector's Spans().
+func WriteChromeTrace(w io.Writer, spans []SpanData) error {
+	return telemetry.WriteChromeTrace(w, spans)
+}
 
 // Call directions.
 const (
